@@ -1,0 +1,36 @@
+//! End-to-end experiment-point benchmarks: the cost of one measured
+//! operating point at reduced scale, for each policy kind. These are the
+//! building blocks every figure sweep is made of.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linkdvs::{run_point, ExperimentConfig, PolicyKind, WorkloadKind};
+use netsim::Topology;
+
+fn small_cfg(policy: PolicyKind) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_baseline()
+        .with_policy(policy)
+        .with_workload(WorkloadKind::UniformRandom)
+        .with_run_lengths(2_000, 8_000);
+    cfg.network.topology = Topology::mesh(4, 2).expect("valid");
+    cfg
+}
+
+fn experiment_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("point_no_dvs", PolicyKind::NoDvs),
+        (
+            "point_history_dvs",
+            PolicyKind::HistoryDvs(Default::default()),
+        ),
+        ("point_reactive_dvs", PolicyKind::Reactive),
+    ] {
+        let cfg = small_cfg(policy);
+        g.bench_function(name, |b| b.iter(|| run_point(&cfg, 0.3)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, experiment_points);
+criterion_main!(benches);

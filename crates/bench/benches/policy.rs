@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the DVS policy and channel model — the
+//! per-window cost the paper argues is small enough for 500-gate hardware.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dvslink::{DvsChannel, RegulatorParams, TransitionTiming, VfTable};
+use dvspolicy::{Ewma, HistoryDvsConfig, HistoryDvsPolicy};
+use netsim::{LinkPolicy, WindowMeasures};
+
+fn measures(lu: f64, now: u64) -> WindowMeasures {
+    WindowMeasures {
+        window_cycles: 200,
+        flits_sent: (lu * 200.0) as u64,
+        link_slots: 200,
+        buf_occupancy_sum: 500,
+        buf_capacity: 128,
+        now,
+    }
+}
+
+fn policy_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy");
+    g.bench_function("history_on_window", |b| {
+        let mut p = HistoryDvsPolicy::new(HistoryDvsConfig::paper());
+        let mut ch = DvsChannel::new(
+            VfTable::paper(),
+            TransitionTiming::paper_conservative(),
+            RegulatorParams::paper(),
+            5,
+        );
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 200;
+            ch.advance(now);
+            p.on_window(&measures(0.35, now), &mut ch);
+        });
+    });
+    g.finish();
+}
+
+fn channel_transition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel");
+    g.bench_function("full_round_trip", |b| {
+        b.iter_batched(
+            || {
+                DvsChannel::new(
+                    VfTable::paper(),
+                    TransitionTiming::paper_conservative(),
+                    RegulatorParams::paper(),
+                    5,
+                )
+            },
+            |mut ch| {
+                ch.request_step_down(0).expect("stable");
+                ch.advance(100_000);
+                ch.request_step_up(100_000).expect("stable");
+                ch.advance(200_000);
+                ch.level()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("advance_stable", |b| {
+        let mut ch = DvsChannel::new(
+            VfTable::paper(),
+            TransitionTiming::paper_conservative(),
+            RegulatorParams::paper(),
+            9,
+        );
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            ch.advance(now);
+        });
+    });
+    g.finish();
+}
+
+fn ewma(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy");
+    g.bench_function("ewma_update", |b| {
+        let mut e = Ewma::paper();
+        let mut x = 0.1f64;
+        b.iter(|| {
+            x = (x * 1.1) % 1.0;
+            e.update(x)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, policy_window, channel_transition, ewma);
+criterion_main!(benches);

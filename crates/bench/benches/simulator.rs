@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the flit-level simulator core.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use netsim::{Network, NetworkConfig, Topology};
+
+fn idle_network(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("idle_8x8_1k_cycles", |b| {
+        b.iter_batched(
+            || Network::new(NetworkConfig::paper_8x8()).expect("valid"),
+            |mut net| net.run(1_000),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn loaded_network(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("loaded_8x8_1k_cycles", |b| {
+        b.iter_batched(
+            || {
+                let mut net = Network::new(NetworkConfig::paper_8x8()).expect("valid");
+                for i in 0..500u64 {
+                    net.inject((i * 7 % 64) as usize, ((i * 11 + 13) % 64) as usize);
+                }
+                net
+            },
+            |mut net| net.run(1_000),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn injection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.bench_function("inject_packet", |b| {
+        let mut net = Network::new(NetworkConfig::paper_8x8()).expect("valid");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            net.inject((i % 64) as usize, ((i * 13 + 7) % 64) as usize)
+        });
+    });
+    g.finish();
+}
+
+fn topology_math(c: &mut Criterion) {
+    let topo = Topology::mesh(8, 2).expect("valid");
+    let mut g = c.benchmark_group("topology");
+    g.bench_function("distance_all_pairs", |b| {
+        b.iter(|| {
+            let mut sum = 0u32;
+            for a in topo.nodes() {
+                for z in topo.nodes() {
+                    sum += topo.distance(a, z);
+                }
+            }
+            sum
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    idle_network,
+    loaded_network,
+    injection,
+    topology_math
+);
+criterion_main!(benches);

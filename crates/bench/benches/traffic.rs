@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the workload generators and estimators.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use netsim::Topology;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use trafficgen::{
+    rs_hurst, variance_time_hurst, OnOffParams, Pareto, SelfSimilarSource, TaskModelConfig,
+    TaskWorkload, UniformRandomWorkload, Workload,
+};
+
+fn pareto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traffic");
+    g.bench_function("pareto_sample", |b| {
+        let p = Pareto::new(1.4, 1000.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| p.sample(&mut rng));
+    });
+    g.finish();
+}
+
+fn onoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traffic");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("self_similar_10k_cycles", |b| {
+        b.iter_batched(
+            || SelfSimilarSource::new(128, 0.02, OnOffParams::paper(), 3),
+            |mut s| {
+                let mut total = 0u64;
+                for t in 0..10_000u64 {
+                    total += u64::from(s.emissions_until(t));
+                }
+                total
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn task_workload(c: &mut Criterion) {
+    let topo = Topology::mesh(8, 2).expect("valid");
+    let mut g = c.benchmark_group("traffic");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("two_level_10k_cycles", |b| {
+        b.iter_batched(
+            || TaskWorkload::new(TaskModelConfig::paper_100_tasks(), &topo, 1.0, 5),
+            |mut wl| {
+                let mut n = 0u64;
+                for t in 0..10_000u64 {
+                    wl.poll(t, &mut |_, _| n += 1);
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("uniform_10k_cycles", |b| {
+        b.iter_batched(
+            || UniformRandomWorkload::new(64, 1.0, 5),
+            |mut wl| {
+                let mut n = 0u64;
+                for t in 0..10_000u64 {
+                    wl.poll(t, &mut |_, _| n += 1);
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn hurst(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let series: Vec<f64> = (0..16_384)
+        .map(|_| rand::Rng::gen::<f64>(&mut rng))
+        .collect();
+    let mut g = c.benchmark_group("estimators");
+    g.bench_function("variance_time_hurst_16k", |b| {
+        b.iter(|| variance_time_hurst(&series));
+    });
+    g.bench_function("rs_hurst_16k", |b| {
+        b.iter(|| rs_hurst(&series));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, pareto, onoff, task_workload, hurst);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablation bench (beyond the paper): sensitivity of the history-based
+//! policy to its two tuning constants — the history window `H` and the
+//! EWMA weight `W` (paper Table 1 fixes H = 200, W = 3 without exploring
+//! them).
+//!
+//! Expected shape: very short windows make the policy chase noise (more
+//! transitions, more disabled time); very long windows react late to task
+//! arrivals (higher latency at similar power). Higher weights approach the
+//! reactive ablation; weight 1 smooths the most and reacts slowest.
+
+use dvspolicy::{DualThresholds, HistoryDvsConfig};
+use linkdvs::{run_point, PolicyKind, WorkloadKind};
+use linkdvs_bench::{results_csv, FigureOpts};
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    let rate = 0.8;
+    let base = opts.apply(
+        linkdvs::ExperimentConfig::paper_baseline()
+            .with_workload(WorkloadKind::paper_two_level_100()),
+    );
+    let mut results = Vec::new();
+
+    println!("== Ablation: history window H at {rate} pkt/cycle (W = 3) ==");
+    println!("{:<14} {:>10} {:>10} {:>9}", "H (cycles)", "latency", "power_W", "savings");
+    for window in [50u64, 100, 200, 400, 800, 1600] {
+        let cfg = base.clone().with_policy(PolicyKind::HistoryDvs(HistoryDvsConfig {
+            window,
+            weight: 3,
+            thresholds: DualThresholds::paper(),
+        }));
+        let r = run_point(&cfg, rate);
+        println!(
+            "{:<14} {:>10.0} {:>10.1} {:>8.2}x",
+            window,
+            r.avg_latency_cycles.unwrap_or(f64::NAN),
+            r.avg_power_w,
+            r.power_savings
+        );
+        results.push((format!("H={window}"), vec![r]));
+    }
+
+    println!("\n== Ablation: EWMA weight W at {rate} pkt/cycle (H = 200) ==");
+    println!("{:<14} {:>10} {:>10} {:>9}", "W", "latency", "power_W", "savings");
+    for weight in [1u32, 3, 7, 15] {
+        let cfg = base.clone().with_policy(PolicyKind::HistoryDvs(HistoryDvsConfig {
+            window: 200,
+            weight,
+            thresholds: DualThresholds::paper(),
+        }));
+        let r = run_point(&cfg, rate);
+        println!(
+            "{:<14} {:>10.0} {:>10.1} {:>8.2}x",
+            weight,
+            r.avg_latency_cycles.unwrap_or(f64::NAN),
+            r.avg_power_w,
+            r.power_savings
+        );
+        results.push((format!("W={weight}"), vec![r]));
+    }
+
+    println!("\n== Extension: target-utilization policy at the same load ==");
+    let r = run_point(&base.clone().with_policy(PolicyKind::TargetUtilization), rate);
+    println!(
+        "{:<14} {:>10.0} {:>10.1} {:>8.2}x",
+        "target-util",
+        r.avg_latency_cycles.unwrap_or(f64::NAN),
+        r.avg_power_w,
+        r.power_savings
+    );
+    results.push(("target-utilization".to_string(), vec![r]));
+
+    opts.write_artifact("ablation_parameters.csv", &results_csv(&results));
+}

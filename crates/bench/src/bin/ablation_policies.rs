@@ -1,0 +1,43 @@
+//! Ablation bench (beyond the paper): history-based DVS vs the
+//! no-history reactive variant vs the §4.4.2-style dynamic-threshold
+//! extension, at matched loads.
+//!
+//! Expected shape: reactive transitions far more often (paying lock time
+//! and transition energy) for little power benefit; dynamic thresholds
+//! track the history policy while shifting along the Fig. 15 frontier.
+
+use linkdvs::{sweep, PolicyKind, WorkloadKind};
+use linkdvs_bench::{coarse_rates, format_results_table, results_csv, FigureOpts};
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    let rates = coarse_rates();
+    let base = opts.apply(
+        linkdvs::ExperimentConfig::paper_baseline()
+            .with_workload(WorkloadKind::paper_two_level_100()),
+    );
+    let results = vec![
+        (
+            "history-based".to_string(),
+            sweep(
+                &base
+                    .clone()
+                    .with_policy(PolicyKind::HistoryDvs(Default::default())),
+                &rates,
+            ),
+        ),
+        (
+            "reactive (no history)".to_string(),
+            sweep(&base.clone().with_policy(PolicyKind::Reactive), &rates),
+        ),
+        (
+            "dynamic thresholds".to_string(),
+            sweep(&base.with_policy(PolicyKind::DynamicThresholds), &rates),
+        ),
+    ];
+    print!(
+        "{}",
+        format_results_table("Ablation: policy variants", &results)
+    );
+    opts.write_artifact("ablation_policies.csv", &results_csv(&results));
+}

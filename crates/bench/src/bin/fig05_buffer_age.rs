@@ -1,0 +1,75 @@
+//! Fig. 5 — input-buffer-age profiles (mean flit residence time in the
+//! downstream input buffers) at rising loads, on a non-DVS network.
+//!
+//! Expected shape: ages of a few cycles at light load, moderately higher at
+//! high load, and a dramatic rise under congestion — the same indicator
+//! behaviour as buffer utilization (Fig. 4), which is why the paper uses
+//! buffer utilization (cheaper to measure) and drops age.
+
+use linkdvs_bench::{busiest_output, FigureOpts};
+use netsim::{ChannelProbe, Network, NetworkConfig};
+use trafficgen::{TaskModelConfig, TaskWorkload, Workload};
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    let loads = [(0.3, "(a) low"), (2.0, "(b) high"), (3.2, "(c) congested")];
+    let mut csv = String::from("panel,offered_rate,age_bin_cycles,count\n");
+    for (rate, label) in loads {
+        let cfg = NetworkConfig::paper_8x8();
+        let topo = cfg.topology.clone();
+        let mut net = Network::new(cfg).expect("paper config is valid");
+        let mut wl = TaskWorkload::new(TaskModelConfig::paper_100_tasks(), &topo, rate, opts.seed);
+        let mut pend = Vec::new();
+        for t in 0..opts.cycles(100_000) {
+            wl.poll(t, &mut |s, d| pend.push((s, d)));
+            for (s, d) in pend.drain(..) {
+                net.inject(s, d);
+            }
+            net.step();
+        }
+        // Probe the channel whose downstream buffers saw the most
+        // occupancy: congestion is spatially concentrated, so a fixed port
+        // would miss it.
+        let (node, port) = busiest_output(&net, |s| s.cum_occ_sum);
+        let mut probe = ChannelProbe::new(&net, node, port).expect("busiest port exists");
+        probe.sample(&net);
+        let mut ages = Vec::new();
+        for _ in 0..opts.cycles(400_000) / 50 {
+            for _ in 0..50 {
+                let now = net.time();
+                wl.poll(now, &mut |s, d| pend.push((s, d)));
+                for (s, d) in pend.drain(..) {
+                    net.inject(s, d);
+                }
+                net.step();
+            }
+            let s = probe.sample(&net);
+            if s.flits_sent > 0 {
+                ages.push(s.buffer_age);
+            }
+        }
+        // Log-spaced bins 1..=4096 cycles.
+        let mut bins = vec![0usize; 13];
+        for &a in &ages {
+            let i = (a.max(1.0).log2().floor() as usize).min(12);
+            bins[i] += 1;
+        }
+        println!(
+            "-- Fig 5{label}: buffer age at {rate} pkt/cycle (n = {}) --",
+            ages.len()
+        );
+        let max = bins.iter().copied().max().unwrap_or(1).max(1);
+        for (i, c) in bins.iter().enumerate() {
+            let lo = 1u64 << i;
+            println!("{lo:>5} | {c:>6} {}", "#".repeat(c * 50 / max));
+            csv.push_str(&format!("{label},{rate},{lo},{c}\n"));
+        }
+        let mean = if ages.is_empty() {
+            0.0
+        } else {
+            ages.iter().sum::<f64>() / ages.len() as f64
+        };
+        println!("mean age: {mean:.1} cycles");
+    }
+    opts.write_artifact("fig05_buffer_age.csv", &csv);
+}

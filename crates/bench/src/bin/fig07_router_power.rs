@@ -1,0 +1,34 @@
+//! Fig. 7 — router power-consumption distribution.
+//!
+//! The paper characterizes its synthesized router (TSMC 0.25 µm) and finds
+//! 82.4% of maximum router power in the link circuitry, with allocators at
+//! a minimal 81 mW — the observation that justifies both targeting links
+//! for power optimization and ignoring router-core power in the evaluation.
+//! We reproduce the chart from the published anchors (see
+//! `dvslink::RouterPowerBudget` for which splits are paper numbers and
+//! which are our estimate).
+
+use dvslink::{RouterPowerBudget, RouterPowerComponent};
+use linkdvs_bench::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    let b = RouterPowerBudget::paper();
+    println!("== Fig 7: router power distribution ==");
+    println!("{:<14} {:>9} {:>8}", "component", "power_W", "share");
+    let mut csv = String::from("component,power_w,share\n");
+    for c in RouterPowerComponent::ALL {
+        let w = b.component_w(c);
+        let f = b.fraction(c);
+        println!("{:<14} {:>9.3} {:>7.1}%", c.name(), w, f * 100.0);
+        csv.push_str(&format!("{},{w},{f}\n", c.name()));
+    }
+    println!("{:<14} {:>9.3} {:>7.1}%", "total", b.total_w(), 100.0);
+    println!();
+    println!(
+        "whole-network link budget: 64 routers x {:.1} W = {:.1} W (paper: 409.6 W)",
+        b.component_w(RouterPowerComponent::Links),
+        64.0 * b.component_w(RouterPowerComponent::Links)
+    );
+    opts.write_artifact("fig07_router_power.csv", &csv);
+}

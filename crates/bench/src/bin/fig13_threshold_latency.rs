@@ -1,0 +1,39 @@
+//! Fig. 13 (with Table 2) — latency profile under threshold settings I–VI.
+//!
+//! Expected shape: more aggressive settings (higher TL thresholds, toward
+//! VI) push links to lower levels, raising latency at every load; setting I
+//! is closest to the non-DVS curve.
+
+use dvspolicy::HistoryDvsConfig;
+use linkdvs::{sweep, PolicyKind, WorkloadKind};
+use linkdvs_bench::{coarse_rates, format_results_table, results_csv, FigureOpts};
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    let rates = coarse_rates();
+    let base = opts.apply(
+        linkdvs::ExperimentConfig::paper_baseline()
+            .with_workload(WorkloadKind::paper_two_level_100()),
+    );
+    let mut results = Vec::new();
+    for setting in 1..=6 {
+        let cfg = base
+            .clone()
+            .with_policy(PolicyKind::HistoryDvs(HistoryDvsConfig::paper_table2(
+                setting,
+            )));
+        results.push((format!("setting {setting} (Table 2)"), sweep(&cfg, &rates)));
+    }
+    print!(
+        "{}",
+        format_results_table("Fig 13: latency under threshold settings I-VI", &results)
+    );
+    // Monotonicity check across settings at each rate.
+    println!("\nmean latency by setting (should generally increase I -> VI):");
+    for (label, rs) in &results {
+        let lat: f64 =
+            rs.iter().filter_map(|r| r.avg_latency_cycles).sum::<f64>() / rs.len() as f64;
+        println!("  {label}: {lat:.0} cycles");
+    }
+    opts.write_artifact("fig13_threshold_latency.csv", &results_csv(&results));
+}

@@ -1,0 +1,38 @@
+//! Fig. 14 (with Table 2) — power-consumption profile under threshold
+//! settings I–VI.
+//!
+//! Expected shape: the mirror image of Fig. 13 — more aggressive settings
+//! save more power at every load; together the two figures demonstrate the
+//! latency/power trade-off knob.
+
+use dvspolicy::HistoryDvsConfig;
+use linkdvs::{sweep, PolicyKind, WorkloadKind};
+use linkdvs_bench::{coarse_rates, format_results_table, results_csv, FigureOpts};
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    let rates = coarse_rates();
+    let base = opts.apply(
+        linkdvs::ExperimentConfig::paper_baseline()
+            .with_workload(WorkloadKind::paper_two_level_100()),
+    );
+    let mut results = Vec::new();
+    for setting in 1..=6 {
+        let cfg = base
+            .clone()
+            .with_policy(PolicyKind::HistoryDvs(HistoryDvsConfig::paper_table2(
+                setting,
+            )));
+        results.push((format!("setting {setting} (Table 2)"), sweep(&cfg, &rates)));
+    }
+    print!(
+        "{}",
+        format_results_table("Fig 14: power under threshold settings I-VI", &results)
+    );
+    println!("\nmean power savings by setting (should generally increase I -> VI):");
+    for (label, rs) in &results {
+        let s: f64 = rs.iter().map(|r| r.power_savings).sum::<f64>() / rs.len() as f64;
+        println!("  {label}: {s:.2}x");
+    }
+    opts.write_artifact("fig14_threshold_power.csv", &results_csv(&results));
+}

@@ -1,0 +1,49 @@
+//! Fig. 15 — the Pareto curve of latency vs dynamic power savings at a
+//! fixed injection rate (the paper uses 1.7 packets/cycle), traced by
+//! sweeping threshold settings I–VI.
+//!
+//! Expected shape: a frontier — improving power savings costs latency and
+//! vice versa; no setting dominates another.
+
+use dvspolicy::HistoryDvsConfig;
+use linkdvs::{run_point, PolicyKind, WorkloadKind};
+use linkdvs_bench::{results_csv, FigureOpts};
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    let rate = 1.7;
+    let base = opts.apply(
+        linkdvs::ExperimentConfig::paper_baseline()
+            .with_workload(WorkloadKind::paper_two_level_100()),
+    );
+    println!("== Fig 15: latency vs power savings at {rate} pkt/cycle ==");
+    println!("{:<12} {:>10} {:>10}", "setting", "latency", "savings");
+    let mut results = Vec::new();
+    let mut points = Vec::new();
+    for setting in 1..=6 {
+        let cfg = base
+            .clone()
+            .with_policy(PolicyKind::HistoryDvs(HistoryDvsConfig::paper_table2(
+                setting,
+            )));
+        let r = run_point(&cfg, rate);
+        println!(
+            "{:<12} {:>10.0} {:>9.2}x",
+            format!("{setting} (I-VI)"),
+            r.avg_latency_cycles.unwrap_or(f64::NAN),
+            r.power_savings
+        );
+        points.push((r.avg_latency_cycles.unwrap_or(f64::NAN), r.power_savings));
+        results.push((format!("setting {setting}"), vec![r]));
+    }
+    // Frontier check: savings should rise with latency along the curve.
+    let mut sorted = points.clone();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite latencies"));
+    let monotone = sorted.windows(2).filter(|w| w[1].1 >= w[0].1 - 0.2).count();
+    println!(
+        "\nfrontier: {}/{} adjacent pairs trade latency for savings",
+        monotone,
+        sorted.len() - 1
+    );
+    opts.write_artifact("fig15_pareto.csv", &results_csv(&results));
+}

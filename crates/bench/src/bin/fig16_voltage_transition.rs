@@ -1,0 +1,50 @@
+//! Fig. 16 (a–d) — network performance with DVS links of varying *voltage*
+//! transition rates: voltage ramp 10 µs vs 1 µs, crossed with frequency
+//! lock 100 vs 10 link cycles and mean task duration 1 ms vs 10 µs.
+//!
+//! Expected shapes (paper §4.4.3):
+//! - (a) long tasks + slow locks: a *faster* voltage ramp can hurt — more
+//!   frequent transitions mean more lock time with the link disabled;
+//! - (c) long tasks + fast locks: the anomaly disappears;
+//! - (b)/(d) short tasks: slow voltage ramps postpone upgrades long enough
+//!   to cut throughput.
+
+use dvslink::TransitionTiming;
+use linkdvs::{sweep, PolicyKind, WorkloadKind};
+use linkdvs_bench::{coarse_rates, format_results_table, results_csv, FigureOpts};
+use trafficgen::TaskModelConfig;
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    let rates = coarse_rates();
+    let panels = [
+        ("(a) task 1ms, lock 100", 1_000_000u64, 100u32),
+        ("(b) task 10us, lock 100", 10_000, 100),
+        ("(c) task 1ms, lock 10", 1_000_000, 10),
+        ("(d) task 10us, lock 10", 10_000, 10),
+    ];
+    let mut all = Vec::new();
+    for (panel, duration, lock) in panels {
+        let mut results = Vec::new();
+        for ramp_us in [10u64, 5, 1] {
+            let mut cfg = opts.apply(
+                linkdvs::ExperimentConfig::paper_baseline()
+                    .with_policy(PolicyKind::HistoryDvs(Default::default()))
+                    .with_workload(WorkloadKind::TwoLevel(
+                        TaskModelConfig::paper_100_tasks().with_mean_duration(duration),
+                    )),
+            );
+            cfg.network.timing = TransitionTiming::new(ramp_us * 1_000, lock);
+            results.push((format!("{panel} ramp {ramp_us}us"), sweep(&cfg, &rates)));
+        }
+        print!(
+            "{}",
+            format_results_table(
+                &format!("Fig 16{panel}: voltage-transition sensitivity"),
+                &results
+            )
+        );
+        all.extend(results);
+    }
+    opts.write_artifact("fig16_voltage_transition.csv", &results_csv(&all));
+}

@@ -1,0 +1,47 @@
+//! Fig. 17 (a–d) — network performance with DVS links of varying
+//! *frequency* transition rates: lock 100/50/10 link cycles, crossed with
+//! voltage ramp 10 µs vs 1 µs and mean task duration 1 ms vs 10 µs.
+//!
+//! Expected shapes (paper §4.4.3): with 1 ms tasks the lock time is pure
+//! latency overhead; with 10 µs tasks, slow transitions cannot track the
+//! traffic and throughput degrades.
+
+use dvslink::TransitionTiming;
+use linkdvs::{sweep, PolicyKind, WorkloadKind};
+use linkdvs_bench::{coarse_rates, format_results_table, results_csv, FigureOpts};
+use trafficgen::TaskModelConfig;
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    let rates = coarse_rates();
+    let panels = [
+        ("(a) task 1ms, ramp 10us", 1_000_000u64, 10_000u64),
+        ("(b) task 10us, ramp 10us", 10_000, 10_000),
+        ("(c) task 1ms, ramp 1us", 1_000_000, 1_000),
+        ("(d) task 10us, ramp 1us", 10_000, 1_000),
+    ];
+    let mut all = Vec::new();
+    for (panel, duration, ramp) in panels {
+        let mut results = Vec::new();
+        for lock in [100u32, 50, 10] {
+            let mut cfg = opts.apply(
+                linkdvs::ExperimentConfig::paper_baseline()
+                    .with_policy(PolicyKind::HistoryDvs(Default::default()))
+                    .with_workload(WorkloadKind::TwoLevel(
+                        TaskModelConfig::paper_100_tasks().with_mean_duration(duration),
+                    )),
+            );
+            cfg.network.timing = TransitionTiming::new(ramp, lock);
+            results.push((format!("{panel} lock {lock}"), sweep(&cfg, &rates)));
+        }
+        print!(
+            "{}",
+            format_results_table(
+                &format!("Fig 17{panel}: frequency-transition sensitivity"),
+                &results
+            )
+        );
+        all.extend(results);
+    }
+    opts.write_artifact("fig17_frequency_transition.csv", &results_csv(&all));
+}

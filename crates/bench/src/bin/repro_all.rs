@@ -1,0 +1,51 @@
+//! Run every figure/table regeneration binary in sequence, forwarding the
+//! common options. `repro_all --quick --out results` smoke-runs the whole
+//! evaluation in minutes; without `--quick` it reproduces the full curves.
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "fig03_link_utilization",
+    "fig04_buffer_utilization",
+    "fig05_buffer_age",
+    "fig07_router_power",
+    "table1_parameters",
+    "fig08_spatial_variance",
+    "fig09_temporal_variance",
+    "fig10_dvs_100tasks",
+    "fig11_dvs_50tasks",
+    "fig12_congestion_power",
+    "fig13_threshold_latency",
+    "fig14_threshold_power",
+    "fig15_pareto",
+    "fig16_voltage_transition",
+    "fig17_frequency_transition",
+    "ablation_policies",
+    "ablation_parameters",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current executable path")
+        .parent()
+        .expect("executable has a parent directory")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for bin in BINS {
+        println!("\n################ {bin} ################");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(*bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} figure/table targets regenerated", BINS.len());
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Table 1 — parameters of the history-based DVS policy, plus the §3.3
+//! hardware cost of realizing it at every router port.
+
+use dvspolicy::{HardwareCost, HistoryDvsConfig};
+use linkdvs_bench::FigureOpts;
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    let c = HistoryDvsConfig::paper();
+    let t = &c.thresholds;
+    println!("== Table 1: history-based DVS policy parameters ==");
+    println!("W            {}", c.weight);
+    println!("H            {} cycles", c.window);
+    println!("B_congested  {}", t.b_congested());
+    println!("TL_low       {}", t.light().low());
+    println!("TL_high      {}", t.light().high());
+    println!("TH_low       {}", t.congested().low());
+    println!("TH_high      {}", t.congested().high());
+    let hw = HardwareCost::paper();
+    println!();
+    println!("== §3.3 hardware realization ==");
+    println!("gates/port            {}", hw.gates_per_port());
+    println!(
+        "power/port            {:.1} mW",
+        hw.power_per_port_w() * 1e3
+    );
+    println!(
+        "8x8 mesh total        {} gates, {:.2} W ({:.3}% of the 409.6 W link budget)",
+        hw.network_gates(64, 4),
+        hw.network_power_overhead_w(64, 4),
+        hw.network_power_overhead_w(64, 4) / 409.6 * 100.0
+    );
+    let csv = format!(
+        "parameter,value\nW,{}\nH,{}\nB_congested,{}\nTL_low,{}\nTL_high,{}\nTH_low,{}\nTH_high,{}\n",
+        c.weight,
+        c.window,
+        t.b_congested(),
+        t.light().low(),
+        t.light().high(),
+        t.congested().low(),
+        t.congested().high()
+    );
+    opts.write_artifact("table1_parameters.csv", &csv);
+}

@@ -1,0 +1,233 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every `fig*`/`table*` binary in `src/bin/` regenerates one table or
+//! figure of the paper: it prints a self-describing text table to stdout
+//! and, when `--out <dir>` is given, writes the same series as CSV. The
+//! `--quick` flag shrinks run lengths ~8x for smoke runs (CI, `repro_all
+//! --quick`); default lengths regenerate stable curve shapes in minutes.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use linkdvs::{ExperimentConfig, RunResult};
+
+/// Command-line options shared by all figure binaries.
+#[derive(Debug, Clone)]
+pub struct FigureOpts {
+    /// Shrink run lengths for a fast smoke run.
+    pub quick: bool,
+    /// Directory to write CSV series into (`None` = stdout only).
+    pub out_dir: Option<PathBuf>,
+    /// Root RNG seed.
+    pub seed: u64,
+}
+
+impl FigureOpts {
+    /// Parse from `std::env::args`. Unknown arguments abort with a usage
+    /// message.
+    pub fn from_args() -> Self {
+        let mut opts = Self {
+            quick: false,
+            out_dir: None,
+            seed: 0x11d5,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--out" => {
+                    let dir = args
+                        .next()
+                        .unwrap_or_else(|| usage("--out needs a directory"));
+                    opts.out_dir = Some(PathBuf::from(dir));
+                }
+                "--seed" => {
+                    let s = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    opts.seed = s
+                        .parse()
+                        .unwrap_or_else(|_| usage("--seed must be an integer"));
+                }
+                other => usage(&format!("unknown argument {other}")),
+            }
+        }
+        opts
+    }
+
+    /// Apply the quick/seed options to an experiment configuration.
+    pub fn apply(&self, mut cfg: ExperimentConfig) -> ExperimentConfig {
+        cfg = cfg.with_seed(self.seed);
+        if self.quick {
+            let (w, m) = (cfg.warmup_cycles / 8, cfg.measure_cycles / 8);
+            cfg = cfg.with_run_lengths(w, m);
+        }
+        cfg
+    }
+
+    /// Scale an arbitrary cycle count by the quick factor.
+    pub fn cycles(&self, full: u64) -> u64 {
+        if self.quick {
+            full / 8
+        } else {
+            full
+        }
+    }
+
+    /// Write `contents` to `<out>/<name>` when `--out` was given.
+    pub fn write_artifact(&self, name: &str, contents: &str) {
+        let Some(dir) = &self.out_dir else { return };
+        fs::create_dir_all(dir).expect("create output directory");
+        let path = dir.join(name);
+        let mut f = fs::File::create(&path).expect("create output file");
+        f.write_all(contents.as_bytes()).expect("write output file");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <figure-bin> [--quick] [--out <dir>] [--seed <n>]");
+    std::process::exit(2);
+}
+
+/// The injection-rate grid used by the latency/power sweeps (Figs. 10–12).
+pub fn sweep_rates() -> Vec<f64> {
+    vec![0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2]
+}
+
+/// A reduced grid for the studies that multiply configurations
+/// (Figs. 13–17).
+pub fn coarse_rates() -> Vec<f64> {
+    vec![0.2, 0.6, 1.0, 1.4, 1.8]
+}
+
+/// Render sweep results as an aligned text table.
+pub fn format_results_table(title: &str, results: &[(String, Vec<RunResult>)]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "== {title} ==").unwrap();
+    writeln!(
+        out,
+        "{:<30} {:>6} {:>7} {:>7} {:>9} {:>9} {:>8} {:>7} {:>6}",
+        "series", "rate", "inj", "thr", "lat_mean", "lat_p50", "power_W", "norm", "save"
+    )
+    .unwrap();
+    for (label, rs) in results {
+        for r in rs {
+            writeln!(
+                out,
+                "{:<30} {:>6.2} {:>7.3} {:>7.3} {:>9.0} {:>9.0} {:>8.1} {:>7.3} {:>6.2}",
+                label,
+                r.offered_rate,
+                r.injection_rate,
+                r.throughput,
+                r.avg_latency_cycles.unwrap_or(f64::NAN),
+                r.p50_latency_cycles.unwrap_or(f64::NAN),
+                r.avg_power_w,
+                r.normalized_power,
+                r.power_savings,
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Render sweep results as CSV with a leading `series` column.
+pub fn results_csv(results: &[(String, Vec<RunResult>)]) -> String {
+    let mut out = format!("series,{}\n", RunResult::CSV_HEADER);
+    for (label, rs) in results {
+        for r in rs {
+            out.push_str(label);
+            out.push(',');
+            out.push_str(&r.csv_row());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Find the output port maximizing `key` over its cumulative stats — e.g.
+/// the most heavily used channel (`|s| s.cum_flits`) or the one with the
+/// most congested downstream buffers (`|s| s.cum_occ_sum`). The paper
+/// tracks "a link within the mesh" for its Figs. 3–5; selecting the busiest
+/// one makes the congestion regimes actually visible at the probe.
+pub fn busiest_output(
+    net: &netsim::Network,
+    key: impl Fn(&netsim::OutputPortStats) -> u64,
+) -> (netsim::NodeId, netsim::PortId) {
+    let mut best = (0, 1, 0u64);
+    for node in net.topology().nodes() {
+        for port in 1..net.topology().ports_per_router() {
+            if let Some(s) = net.output_stats(node, port) {
+                let v = key(&s);
+                if v >= best.2 {
+                    best = (node, port, v);
+                }
+            }
+        }
+    }
+    (best.0, best.1)
+}
+
+/// Bucket `values` in `[0, 1]` into `bins` equal bins (out-of-range values
+/// clamp into the last bin), as the paper's Figs. 3–5 histograms do for
+/// utilization samples.
+pub fn unit_histogram(values: &[f64], bins: usize) -> Vec<(f64, usize)> {
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let i = ((v.max(0.0) * bins as f64) as usize).min(bins - 1);
+        counts[i] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (i as f64 / bins as f64, c))
+        .collect()
+}
+
+/// Format a [`unit_histogram`] as an ASCII bar chart.
+pub fn format_histogram(title: &str, hist: &[(f64, usize)]) -> String {
+    use std::fmt::Write;
+    let total: usize = hist.iter().map(|(_, c)| c).sum();
+    let max = hist.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    writeln!(out, "-- {title} (n = {total}) --").unwrap();
+    for (lo, c) in hist {
+        let bar = "#".repeat(c * 50 / max);
+        writeln!(out, "{lo:>5.2} | {c:>6} {bar}").unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_histogram_buckets_and_clamps() {
+        let h = unit_histogram(&[0.0, 0.05, 0.5, 0.99, 1.0, 1.7], 10);
+        assert_eq!(h.len(), 10);
+        assert_eq!(h[0].1, 2); // 0.0, 0.05
+        assert_eq!(h[5].1, 1); // 0.5
+        assert_eq!(h[9].1, 3); // 0.99, 1.0 (clamped), 1.7 (clamped)
+        let total: usize = h.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn histogram_format_contains_counts() {
+        let h = unit_histogram(&[0.1; 7], 4);
+        let s = format_histogram("test", &h);
+        assert!(s.contains("n = 7"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn rates_are_ascending() {
+        let r = sweep_rates();
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+        let c = coarse_rates();
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,180 @@
+use dvspolicy::{
+    DynamicThresholdPolicy, HistoryDvsConfig, HistoryDvsPolicy, ReactiveDvsPolicy,
+    TargetUtilizationPolicy,
+};
+use netsim::{LinkPolicy, NetworkConfig, NodeId, PortId, StaticLevelPolicy, Topology};
+use trafficgen::{
+    HotspotWorkload, Permutation, PermutationWorkload, TaskModelConfig, TaskWorkload,
+    UniformRandomWorkload, Workload,
+};
+
+use crate::Cycles;
+
+/// Which DVS policy controls the links.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyKind {
+    /// All channels pinned at the configured initial level — the paper's
+    /// non-DVS baseline when that level is the fastest.
+    NoDvs,
+    /// The paper's history-based policy (Algorithm 1).
+    HistoryDvs(HistoryDvsConfig),
+    /// The no-history ablation: raw window measures, same thresholds.
+    Reactive,
+    /// The §4.4.2 extension: Table 2 setting adapted at runtime.
+    DynamicThresholds,
+    /// Demand-estimating extension: heads for the slowest level that keeps
+    /// utilization at a set point instead of band-stepping.
+    TargetUtilization,
+}
+
+impl PolicyKind {
+    pub(crate) fn build(&self) -> Box<dyn LinkPolicy> {
+        match self {
+            PolicyKind::NoDvs => Box::new(StaticLevelPolicy::default()),
+            PolicyKind::HistoryDvs(cfg) => Box::new(HistoryDvsPolicy::new(cfg.clone())),
+            PolicyKind::Reactive => Box::new(ReactiveDvsPolicy::paper()),
+            PolicyKind::DynamicThresholds => Box::new(DynamicThresholdPolicy::paper()),
+            PolicyKind::TargetUtilization => {
+                Box::new(TargetUtilizationPolicy::paper_comparable())
+            }
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::NoDvs => "no-DVS",
+            PolicyKind::HistoryDvs(_) => "history-DVS",
+            PolicyKind::Reactive => "reactive-DVS",
+            PolicyKind::DynamicThresholds => "dynamic-threshold-DVS",
+            PolicyKind::TargetUtilization => "target-utilization-DVS",
+        }
+    }
+}
+
+/// Which workload injects packets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadKind {
+    /// The paper's two-level self-similar task model.
+    TwoLevel(TaskModelConfig),
+    /// Uniform random Bernoulli traffic.
+    UniformRandom,
+    /// A fixed permutation pattern with Bernoulli injections.
+    Permutation(Permutation),
+    /// Hotspot traffic: the given fraction of packets target one node.
+    Hotspot {
+        /// The hot node.
+        node: usize,
+        /// Fraction of packets sent to it, in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl WorkloadKind {
+    /// The paper's 100-task two-level workload.
+    pub fn paper_two_level_100() -> Self {
+        WorkloadKind::TwoLevel(TaskModelConfig::paper_100_tasks())
+    }
+
+    /// The paper's 50-task two-level workload.
+    pub fn paper_two_level_50() -> Self {
+        WorkloadKind::TwoLevel(TaskModelConfig::paper_50_tasks())
+    }
+
+    pub(crate) fn build(&self, topo: &Topology, rate: f64, seed: u64) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::TwoLevel(cfg) => {
+                Box::new(TaskWorkload::new(cfg.clone(), topo, rate, seed))
+            }
+            WorkloadKind::UniformRandom => {
+                Box::new(UniformRandomWorkload::new(topo.num_nodes(), rate, seed))
+            }
+            WorkloadKind::Permutation(p) => {
+                Box::new(PermutationWorkload::new(*p, topo, rate, seed))
+            }
+            WorkloadKind::Hotspot { node, fraction } => Box::new(HotspotWorkload::new(
+                topo.num_nodes(),
+                *node,
+                *fraction,
+                rate,
+                seed,
+            )),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadKind::TwoLevel(_) => "two-level",
+            WorkloadKind::UniformRandom => "uniform",
+            WorkloadKind::Permutation(_) => "permutation",
+            WorkloadKind::Hotspot { .. } => "hotspot",
+        }
+    }
+}
+
+/// One fully specified experiment: system + policy + workload + run lengths.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Network and link configuration.
+    pub network: NetworkConfig,
+    /// Link DVS policy.
+    pub policy: PolicyKind,
+    /// Packet workload.
+    pub workload: WorkloadKind,
+    /// Cycles simulated before measurement starts.
+    pub warmup_cycles: Cycles,
+    /// Cycles measured.
+    pub measure_cycles: Cycles,
+    /// Root RNG seed (workload seeds derive from it).
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's system (8x8 mesh, conservative DVS links) with no DVS
+    /// policy and the 100-task workload, at run lengths suitable for
+    /// regenerating curve shapes in seconds rather than the paper's
+    /// 10 M-cycle cluster runs. The warm-up is sized to cover the initial
+    /// DVS transient: starting from all-links-at-max, a descent and
+    /// climb-back takes several voltage-ramp times (~100 k cycles each).
+    /// Raise the run lengths for paper-scale runs.
+    pub fn paper_baseline() -> Self {
+        Self {
+            network: NetworkConfig::paper_8x8(),
+            policy: PolicyKind::NoDvs,
+            workload: WorkloadKind::paper_two_level_100(),
+            warmup_cycles: 600_000,
+            measure_cycles: 400_000,
+            seed: 0x11d5,
+        }
+    }
+
+    /// Builder-style policy override.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style workload override.
+    pub fn with_workload(mut self, workload: WorkloadKind) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style run-length override.
+    pub fn with_run_lengths(mut self, warmup: Cycles, measure: Cycles) -> Self {
+        self.warmup_cycles = warmup;
+        self.measure_cycles = measure;
+        self
+    }
+
+    pub(crate) fn policy_factory(&self) -> impl FnMut(NodeId, PortId) -> Box<dyn LinkPolicy> + '_ {
+        move |_, _| self.policy.build()
+    }
+}

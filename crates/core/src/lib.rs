@@ -1,0 +1,45 @@
+//! Experiment layer for the HPCA 2003 link-DVS reproduction.
+//!
+//! This crate glues the substrates together — the [`netsim`] flit-level
+//! simulator, the [`dvslink`] DVS channel model, the [`dvspolicy`] policies,
+//! and the [`trafficgen`] workloads — into the experiments the paper
+//! reports:
+//!
+//! - [`ExperimentConfig`] describes one simulated system: network
+//!   configuration, link policy, workload model, and run lengths.
+//! - [`run_point`] simulates one offered load and returns a [`RunResult`]
+//!   with the paper's metrics (average packet latency, throughput, link
+//!   power normalized to the 409.6 W non-DVS budget, power-savings factor).
+//! - [`sweep`] runs an injection-rate sweep — the x-axis of Figs. 10–17 —
+//!   and [`SweepSummary`] derives the headline numbers (zero-load latency,
+//!   saturation point, average pre-saturation latency increase, average and
+//!   peak power savings).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use linkdvs::{ExperimentConfig, PolicyKind, WorkloadKind};
+//!
+//! let cfg = ExperimentConfig::paper_baseline()
+//!     .with_policy(PolicyKind::HistoryDvs(Default::default()))
+//!     .with_workload(WorkloadKind::paper_two_level_100());
+//! let result = linkdvs::run_point(&cfg, 0.8);
+//! println!(
+//!     "latency {:.0} cycles, {:.1}x power savings",
+//!     result.avg_latency_cycles.unwrap_or(f64::NAN),
+//!     result.power_savings
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiment;
+mod result;
+mod runner;
+
+pub use experiment::{ExperimentConfig, PolicyKind, WorkloadKind};
+pub use result::{write_csv, RunResult, SweepSummary};
+pub use runner::{run_point, sweep, zero_load_latency};
+
+pub use dvslink::Cycles;

@@ -1,0 +1,228 @@
+use std::io::{self, Write};
+
+/// The metrics of one simulated operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunResult {
+    /// Offered load the workload was configured for, packets/cycle.
+    pub offered_rate: f64,
+    /// Packets/cycle actually created during measurement.
+    pub injection_rate: f64,
+    /// Packets/cycle delivered during measurement.
+    pub throughput: f64,
+    /// Mean packet latency (creation → tail ejection) in cycles, `None` if
+    /// nothing was delivered.
+    pub avg_latency_cycles: Option<f64>,
+    /// Median packet latency estimate, in cycles.
+    pub p50_latency_cycles: Option<f64>,
+    /// 99th-percentile packet latency estimate, in cycles.
+    pub p99_latency_cycles: Option<f64>,
+    /// Maximum packet latency observed, in cycles.
+    pub max_latency_cycles: Option<u64>,
+    /// Average network link power over the measurement, watts.
+    pub avg_power_w: f64,
+    /// Power normalized to the all-links-at-max baseline, in `(0, 1]`.
+    pub normalized_power: f64,
+    /// Power-savings factor (baseline / actual).
+    pub power_savings: f64,
+    /// Mean channel level at measurement end (diagnostic).
+    pub mean_level: f64,
+    /// Packets delivered during measurement.
+    pub packets_delivered: u64,
+}
+
+impl RunResult {
+    /// CSV header matching [`csv_row`](Self::csv_row).
+    pub const CSV_HEADER: &'static str = "offered_rate,injection_rate,throughput,avg_latency_cycles,p50_latency_cycles,p99_latency_cycles,max_latency_cycles,avg_power_w,normalized_power,power_savings,mean_level,packets_delivered";
+
+    /// This result as one CSV row.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.offered_rate,
+            self.injection_rate,
+            self.throughput,
+            self.avg_latency_cycles
+                .map_or(String::new(), |v| v.to_string()),
+            self.p50_latency_cycles
+                .map_or(String::new(), |v| v.to_string()),
+            self.p99_latency_cycles
+                .map_or(String::new(), |v| v.to_string()),
+            self.max_latency_cycles
+                .map_or(String::new(), |v| v.to_string()),
+            self.avg_power_w,
+            self.normalized_power,
+            self.power_savings,
+            self.mean_level,
+            self.packets_delivered,
+        )
+    }
+}
+
+/// Write a sweep as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_csv<W: Write>(out: &mut W, results: &[RunResult]) -> io::Result<()> {
+    writeln!(out, "{}", RunResult::CSV_HEADER)?;
+    for r in results {
+        writeln!(out, "{}", r.csv_row())?;
+    }
+    Ok(())
+}
+
+/// Headline numbers derived from an injection-rate sweep, mirroring how the
+/// paper reports Figs. 10–11.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepSummary {
+    /// Latency at the lowest measured load, in cycles.
+    pub zero_load_latency: f64,
+    /// Offered rate at which latency first exceeds 2× the zero-load latency,
+    /// if the sweep reaches it.
+    pub saturation_rate: Option<f64>,
+    /// Mean latency over pre-saturation points.
+    pub avg_latency_before_saturation: f64,
+    /// Highest delivered throughput seen anywhere in the sweep.
+    pub peak_throughput: f64,
+    /// Mean power-savings factor over pre-saturation points.
+    pub avg_power_savings: f64,
+    /// Largest power-savings factor over pre-saturation points.
+    pub max_power_savings: f64,
+}
+
+impl SweepSummary {
+    /// Summarize a sweep ordered by increasing offered rate.
+    ///
+    /// Returns `None` if the sweep is empty or its first point delivered no
+    /// packets (no zero-load latency to normalize against). The saturation
+    /// criterion is the paper's: average latency worse than twice the
+    /// zero-load latency.
+    pub fn from_results(results: &[RunResult]) -> Option<Self> {
+        let zero_load = results.first()?.avg_latency_cycles?;
+        let mut saturation_rate = None;
+        let mut pre_lat = Vec::new();
+        let mut pre_savings = Vec::new();
+        let mut peak_throughput: f64 = 0.0;
+        for r in results {
+            peak_throughput = peak_throughput.max(r.throughput);
+            let saturated = match r.avg_latency_cycles {
+                Some(l) => l > 2.0 * zero_load,
+                None => true,
+            };
+            if saturated && saturation_rate.is_none() {
+                saturation_rate = Some(r.offered_rate);
+            }
+            if saturation_rate.is_none() {
+                if let Some(l) = r.avg_latency_cycles {
+                    pre_lat.push(l);
+                }
+                pre_savings.push(r.power_savings);
+            }
+        }
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        Some(Self {
+            zero_load_latency: zero_load,
+            saturation_rate,
+            avg_latency_before_saturation: mean(&pre_lat),
+            peak_throughput,
+            avg_power_savings: mean(&pre_savings),
+            max_power_savings: pre_savings.iter().copied().fold(0.0, f64::max),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(rate: f64, latency: Option<f64>, throughput: f64, savings: f64) -> RunResult {
+        RunResult {
+            offered_rate: rate,
+            injection_rate: rate,
+            throughput,
+            avg_latency_cycles: latency,
+            p50_latency_cycles: latency,
+            p99_latency_cycles: latency.map(|l| l * 2.0),
+            max_latency_cycles: latency.map(|l| l as u64 * 3),
+            avg_power_w: 409.6 / savings,
+            normalized_power: 1.0 / savings,
+            power_savings: savings,
+            mean_level: 5.0,
+            packets_delivered: 1000,
+        }
+    }
+
+    #[test]
+    fn summary_detects_saturation() {
+        let results = vec![
+            point(0.2, Some(100.0), 0.2, 5.0),
+            point(0.8, Some(120.0), 0.8, 4.5),
+            point(1.4, Some(180.0), 1.4, 4.0),
+            point(2.0, Some(500.0), 1.6, 3.0), // > 2x zero-load
+            point(2.4, Some(900.0), 1.5, 2.5),
+        ];
+        let s = SweepSummary::from_results(&results).unwrap();
+        assert_eq!(s.zero_load_latency, 100.0);
+        assert_eq!(s.saturation_rate, Some(2.0));
+        assert!((s.avg_latency_before_saturation - (100.0 + 120.0 + 180.0) / 3.0).abs() < 1e-9);
+        assert_eq!(s.peak_throughput, 1.6);
+        assert!((s.avg_power_savings - 4.5).abs() < 1e-9);
+        assert_eq!(s.max_power_savings, 5.0);
+    }
+
+    #[test]
+    fn unsaturated_sweep_has_no_saturation_rate() {
+        let results = vec![
+            point(0.2, Some(100.0), 0.2, 5.0),
+            point(0.4, Some(110.0), 0.4, 5.0),
+        ];
+        let s = SweepSummary::from_results(&results).unwrap();
+        assert_eq!(s.saturation_rate, None);
+    }
+
+    #[test]
+    fn missing_latency_counts_as_saturated() {
+        let results = vec![
+            point(0.2, Some(100.0), 0.2, 5.0),
+            point(0.6, None, 0.0, 5.0),
+        ];
+        let s = SweepSummary::from_results(&results).unwrap();
+        assert_eq!(s.saturation_rate, Some(0.6));
+    }
+
+    #[test]
+    fn empty_or_dead_sweep_yields_none() {
+        assert!(SweepSummary::from_results(&[]).is_none());
+        assert!(SweepSummary::from_results(&[point(0.1, None, 0.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let results = vec![point(0.2, Some(100.0), 0.2, 5.0)];
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &results).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some(RunResult::CSV_HEADER));
+        let row = lines.next().unwrap();
+        assert_eq!(
+            row.split(',').count(),
+            RunResult::CSV_HEADER.split(',').count()
+        );
+        assert!(row.starts_with("0.2,"));
+    }
+
+    #[test]
+    fn csv_handles_missing_latency() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &[point(0.1, None, 0.0, 1.0)]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().nth(1).unwrap().contains(",,"));
+    }
+}

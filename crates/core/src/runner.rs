@@ -1,0 +1,166 @@
+use netsim::Network;
+
+use crate::{ExperimentConfig, RunResult};
+
+/// Simulate one operating point: warm up, measure, and report the paper's
+/// metrics.
+///
+/// `offered_rate` is the aggregate injection rate in packets/cycle across
+/// the whole network (the x-axis of Figs. 10–17).
+///
+/// # Panics
+///
+/// Panics if the experiment configuration is invalid (propagated from
+/// [`Network::with_policies`]) or `offered_rate` is not positive.
+pub fn run_point(cfg: &ExperimentConfig, offered_rate: f64) -> RunResult {
+    assert!(
+        offered_rate.is_finite() && offered_rate > 0.0,
+        "offered rate must be positive"
+    );
+    let mut factory = cfg.policy_factory();
+    let mut net = Network::with_policies(cfg.network.clone(), &mut factory)
+        .expect("experiment network configuration must be valid");
+    // Derive the workload seed from the experiment seed and the operating
+    // point so sweep points are independent but reproducible.
+    let seed = cfg.seed ^ (offered_rate.to_bits().rotate_left(17));
+    let mut workload = cfg.workload.build(net.topology(), offered_rate, seed);
+
+    let mut pending: Vec<(usize, usize)> = Vec::new();
+    let total = cfg.warmup_cycles + cfg.measure_cycles;
+    for t in 0..total {
+        if t == cfg.warmup_cycles {
+            net.begin_measurement();
+        }
+        workload.poll(t, &mut |src, dest| pending.push((src, dest)));
+        for (src, dest) in pending.drain(..) {
+            net.inject(src, dest);
+        }
+        net.step();
+    }
+
+    let now = net.time();
+    let stats = net.stats();
+    let avg_power_w = net.average_power_w();
+    let max_power_w = net.max_power_w();
+    let normalized_power = if max_power_w > 0.0 {
+        avg_power_w / max_power_w
+    } else {
+        0.0
+    };
+    RunResult {
+        offered_rate,
+        injection_rate: stats.injection_rate_packets_per_cycle(now),
+        throughput: stats.throughput_packets_per_cycle(now),
+        avg_latency_cycles: stats.latency().mean(),
+        p50_latency_cycles: stats.latency().quantile(0.5),
+        p99_latency_cycles: stats.latency().quantile(0.99),
+        max_latency_cycles: stats.latency().max(),
+        avg_power_w,
+        normalized_power,
+        power_savings: if avg_power_w > 0.0 {
+            max_power_w / avg_power_w
+        } else {
+            0.0
+        },
+        mean_level: net.mean_channel_level(),
+        packets_delivered: stats.packets_delivered(),
+    }
+}
+
+/// Run an injection-rate sweep, returning one [`RunResult`] per rate in
+/// order.
+pub fn sweep(cfg: &ExperimentConfig, rates: &[f64]) -> Vec<RunResult> {
+    rates.iter().map(|&r| run_point(cfg, r)).collect()
+}
+
+/// Estimate the zero-load latency of a configuration: the average latency
+/// at a very light offered load (0.05 packets/cycle network-wide).
+pub fn zero_load_latency(cfg: &ExperimentConfig) -> Option<f64> {
+    run_point(cfg, 0.05).avg_latency_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PolicyKind, WorkloadKind};
+    use netsim::Topology;
+
+    /// A scaled-down experiment that runs in well under a second.
+    fn quick_cfg() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_baseline().with_run_lengths(5_000, 20_000);
+        cfg.network.topology = Topology::mesh(4, 2).unwrap();
+        cfg.workload = WorkloadKind::UniformRandom;
+        cfg
+    }
+
+    #[test]
+    fn no_dvs_point_runs_at_full_power() {
+        let r = run_point(&quick_cfg(), 0.2);
+        assert!(r.packets_delivered > 100);
+        assert!(r.avg_latency_cycles.unwrap() > 10.0);
+        assert!(
+            (r.normalized_power - 1.0).abs() < 1e-6,
+            "no-DVS power must be the baseline"
+        );
+        assert!((r.power_savings - 1.0).abs() < 1e-6);
+        assert!((r.mean_level - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn history_dvs_saves_power_at_light_load() {
+        // The conservative 10 µs voltage ramp needs ~90 k cycles for a full
+        // descent, far longer than this quick test; use the paper's
+        // aggressive link (§4.4.3) so the policy can reach low levels.
+        let mut cfg = quick_cfg().with_policy(PolicyKind::HistoryDvs(Default::default()));
+        cfg.network.timing = dvslink::TransitionTiming::paper_aggressive();
+        cfg.warmup_cycles = 15_000;
+        cfg.measure_cycles = 30_000;
+        let r = run_point(&cfg, 0.1);
+        assert!(r.packets_delivered > 50);
+        assert!(
+            r.power_savings > 1.5,
+            "light load must save power, got {}x",
+            r.power_savings
+        );
+        assert!(r.mean_level < 8.0);
+    }
+
+    #[test]
+    fn sweep_orders_and_matches_rates() {
+        let rates = [0.1, 0.3];
+        let rs = sweep(&quick_cfg(), &rates);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].offered_rate, 0.1);
+        assert_eq!(rs[1].offered_rate, 0.3);
+        assert!(rs[1].throughput > rs[0].throughput);
+    }
+
+    #[test]
+    fn results_are_reproducible() {
+        let cfg = quick_cfg().with_policy(PolicyKind::HistoryDvs(Default::default()));
+        let a = run_point(&cfg, 0.2);
+        let b = run_point(&cfg, 0.2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = quick_cfg();
+        let a = run_point(&cfg, 0.2);
+        let b = run_point(&cfg.clone().with_seed(99), 0.2);
+        assert_ne!(a.packets_delivered, b.packets_delivered);
+    }
+
+    #[test]
+    fn zero_load_latency_is_sane() {
+        let z = zero_load_latency(&quick_cfg()).unwrap();
+        // 4x4 mesh, ~13-cycle routers: tens of cycles.
+        assert!(z > 20.0 && z < 120.0, "zero-load latency {z}");
+    }
+
+    #[test]
+    #[should_panic(expected = "offered rate")]
+    fn bad_rate_panics() {
+        let _ = run_point(&quick_cfg(), 0.0);
+    }
+}

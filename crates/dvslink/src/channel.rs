@@ -1,0 +1,561 @@
+use crate::{Cycles, EnergyMeter, RegulatorParams, TransitionError, TransitionTiming, VfTable};
+
+/// The phase a [`DvsChannel`] is currently in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelPhase {
+    /// Operating steadily at the current level.
+    Stable,
+    /// The regulator is ramping the supply voltage toward `target`'s level.
+    /// The links keep functioning (at the lower of the two frequencies).
+    VoltageRamp {
+        /// Level the in-flight transition is heading to.
+        target: usize,
+        /// Cycle at which the ramp completes.
+        until: Cycles,
+    },
+    /// The receiver is re-locking onto the new link clock. The links are
+    /// *disabled* and transmit nothing.
+    FreqLock {
+        /// Level the in-flight transition is heading to.
+        target: usize,
+        /// Cycle at which the lock completes.
+        until: Cycles,
+    },
+}
+
+/// Counters describing a channel's transition activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransitionStats {
+    /// Step-up transitions started.
+    pub initiated_up: u64,
+    /// Step-down transitions started.
+    pub initiated_down: u64,
+    /// Transitions fully completed (channel back to stable).
+    pub completed: u64,
+    /// Router cycles spent with the links disabled (frequency locks).
+    pub disabled_cycles: Cycles,
+}
+
+/// A network channel made of one or more serial links that scale frequency
+/// and voltage together under one adaptive power-supply regulator.
+///
+/// The channel is a small state machine driven by two inputs: level-change
+/// requests from a DVS policy ([`request_step_up`](Self::request_step_up) /
+/// [`request_step_down`](Self::request_step_down)) and the passage of time
+/// ([`advance`](Self::advance)). Phase ordering follows the paper:
+///
+/// - **speed-up**: voltage ramp (links functional at the old frequency),
+///   then frequency lock (links disabled), then stable at the new level;
+/// - **slow-down**: frequency lock first (links disabled), then voltage ramp
+///   down (links functional at the new, lower frequency).
+///
+/// Energy is integrated continuously: operating power is charged at the
+/// level whose *voltage* is currently applied (during transitions that is
+/// always the higher of the two levels involved — a conservative choice,
+/// since the supply is at or heading to the higher voltage while the
+/// frequency may still be low), and each voltage ramp additionally charges
+/// the Stratakos overhead energy through [`RegulatorParams`].
+#[derive(Debug, Clone)]
+pub struct DvsChannel {
+    table: VfTable,
+    timing: TransitionTiming,
+    regulator: RegulatorParams,
+    link_count: u32,
+    /// Level whose frequency the links currently run at.
+    level: usize,
+    /// Level whose voltage is currently applied (drives power accounting).
+    voltage_index: usize,
+    phase: ChannelPhase,
+    meter: EnergyMeter,
+    last_meter_sync: Cycles,
+    stats: TransitionStats,
+}
+
+impl DvsChannel {
+    /// Create a channel of a single link at `initial_level`.
+    ///
+    /// Use [`with_link_count`](Self::with_link_count) for multi-link channels
+    /// (the paper's channels bundle 8 serial links per router port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_level` is out of range for `table`.
+    pub fn new(
+        table: VfTable,
+        timing: TransitionTiming,
+        regulator: RegulatorParams,
+        initial_level: usize,
+    ) -> Self {
+        assert!(
+            initial_level < table.len(),
+            "initial level {initial_level} out of range for table of {} levels",
+            table.len()
+        );
+        Self {
+            table,
+            timing,
+            regulator,
+            link_count: 1,
+            level: initial_level,
+            voltage_index: initial_level,
+            phase: ChannelPhase::Stable,
+            meter: EnergyMeter::new(),
+            last_meter_sync: 0,
+            stats: TransitionStats::default(),
+        }
+    }
+
+    /// Set the number of serial links bundled in this channel (power scales
+    /// linearly with it). Returns `self` for builder-style chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links` is zero.
+    pub fn with_link_count(mut self, links: u32) -> Self {
+        assert!(links > 0, "a channel must bundle at least one link");
+        self.link_count = links;
+        self
+    }
+
+    /// Number of serial links bundled in this channel.
+    pub fn link_count(&self) -> u32 {
+        self.link_count
+    }
+
+    /// The channel's level table.
+    pub fn table(&self) -> &VfTable {
+        &self.table
+    }
+
+    /// The level whose frequency the links currently run at.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The level an in-flight transition is heading to, if any.
+    pub fn target_level(&self) -> Option<usize> {
+        match self.phase {
+            ChannelPhase::Stable => None,
+            ChannelPhase::VoltageRamp { target, .. } | ChannelPhase::FreqLock { target, .. } => {
+                Some(target)
+            }
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> ChannelPhase {
+        self.phase
+    }
+
+    /// Whether the channel is stable (no transition in flight).
+    pub fn is_stable(&self) -> bool {
+        matches!(self.phase, ChannelPhase::Stable)
+    }
+
+    /// Whether the links can transmit right now. Links function when stable
+    /// and during voltage ramps, but not during frequency locks.
+    pub fn is_operational(&self) -> bool {
+        !matches!(self.phase, ChannelPhase::FreqLock { .. })
+    }
+
+    /// Cycle at which the current phase ends, or `None` when stable.
+    ///
+    /// Note that a speed-up transition has two phases; after the voltage
+    /// ramp completes the channel enters a frequency lock, so callers waiting
+    /// for stability should re-check after advancing to this cycle.
+    pub fn busy_until(&self) -> Option<Cycles> {
+        match self.phase {
+            ChannelPhase::Stable => None,
+            ChannelPhase::VoltageRamp { until, .. } | ChannelPhase::FreqLock { until, .. } => {
+                Some(until)
+            }
+        }
+    }
+
+    /// Current link frequency ×9 in MHz (exact integer form; see
+    /// [`crate::VfLevel::freq_x9`]). Meaningful whenever the channel is
+    /// operational; during a frequency lock the links transmit nothing
+    /// regardless of this value.
+    pub fn freq_x9(&self) -> u32 {
+        self.table
+            .get(self.level)
+            .expect("level is always in range")
+            .freq_x9()
+    }
+
+    /// Instantaneous channel power in watts (all bundled links).
+    pub fn power_w(&self) -> f64 {
+        self.table
+            .get(self.voltage_index)
+            .expect("voltage index is always in range")
+            .power_w()
+            * f64::from(self.link_count)
+    }
+
+    /// Accumulated energy meter (operating + transition overhead).
+    ///
+    /// Call [`advance`](Self::advance) first to integrate up to the present,
+    /// or use [`energy_total_at`](Self::energy_total_at) for a read-only
+    /// total.
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Total energy consumed through cycle `now`, in joules, without
+    /// mutating the channel: the meter's integrated total plus the current
+    /// power held constant since the last state change. Exact, because power
+    /// only changes at state changes, and every state change syncs the
+    /// meter.
+    pub fn energy_total_at(&self, now: Cycles) -> f64 {
+        let tail = now.saturating_sub(self.last_meter_sync);
+        self.meter.total_j() + self.power_w() * tail as f64 * 1e-9
+    }
+
+    /// Transition activity counters.
+    pub fn stats(&self) -> &TransitionStats {
+        &self.stats
+    }
+
+    /// Begin a one-level speed-up at cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError::Busy`] if a transition is already in
+    /// flight, or [`TransitionError::AtMaxLevel`] at the top level.
+    pub fn request_step_up(&mut self, now: Cycles) -> Result<(), TransitionError> {
+        self.check_ready()?;
+        if self.level + 1 >= self.table.len() {
+            return Err(TransitionError::AtMaxLevel);
+        }
+        self.sync_meter(now);
+        let target = self.level + 1;
+        let v_from = self.table.get(self.level).expect("in range").voltage_v();
+        let v_to = self.table.get(target).expect("in range").voltage_v();
+        self.meter
+            .add_transition(self.regulator.transition_energy_j(v_from, v_to));
+        // Conservative power accounting: the supply heads to the higher
+        // voltage immediately.
+        self.voltage_index = target;
+        self.phase = ChannelPhase::VoltageRamp {
+            target,
+            until: now + self.timing.voltage_ramp_cycles(),
+        };
+        self.stats.initiated_up += 1;
+        Ok(())
+    }
+
+    /// Begin a one-level slow-down at cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError::Busy`] if a transition is already in
+    /// flight, or [`TransitionError::AtMinLevel`] at the bottom level.
+    pub fn request_step_down(&mut self, now: Cycles) -> Result<(), TransitionError> {
+        self.check_ready()?;
+        if self.level == 0 {
+            return Err(TransitionError::AtMinLevel);
+        }
+        self.sync_meter(now);
+        let target = self.level - 1;
+        // Frequency drops first; the lock runs at the slower (target) clock.
+        let lock = self
+            .timing
+            .freq_lock_router_cycles(self.table.get(target).expect("in range").freq_x9());
+        self.stats.disabled_cycles += lock;
+        self.phase = ChannelPhase::FreqLock {
+            target,
+            until: now + lock,
+        };
+        self.stats.initiated_down += 1;
+        Ok(())
+    }
+
+    /// Advance the state machine to cycle `now`, completing any phases that
+    /// end at or before it and integrating energy.
+    ///
+    /// `now` must be monotonically non-decreasing across calls.
+    pub fn advance(&mut self, now: Cycles) {
+        loop {
+            match self.phase {
+                ChannelPhase::VoltageRamp { target, until } if until <= now => {
+                    self.sync_meter(until);
+                    if target > self.level {
+                        // Speed-up: the ramp is done, now re-lock the clock.
+                        // The slower of the two frequencies is the old level.
+                        let lock = self.timing.freq_lock_router_cycles(
+                            self.table.get(self.level).expect("in range").freq_x9(),
+                        );
+                        self.stats.disabled_cycles += lock;
+                        self.phase = ChannelPhase::FreqLock {
+                            target,
+                            until: until + lock,
+                        };
+                    } else {
+                        // Slow-down: ramp down was the final phase.
+                        self.voltage_index = target;
+                        self.phase = ChannelPhase::Stable;
+                        self.stats.completed += 1;
+                    }
+                }
+                ChannelPhase::FreqLock { target, until } if until <= now => {
+                    self.sync_meter(until);
+                    if target > self.level {
+                        // Speed-up: lock done, transition complete.
+                        self.level = target;
+                        self.phase = ChannelPhase::Stable;
+                        self.stats.completed += 1;
+                    } else {
+                        // Slow-down: links now run at the lower frequency;
+                        // ramp the voltage down behind them.
+                        self.level = target;
+                        let v_from = self
+                            .table
+                            .get(self.voltage_index)
+                            .expect("in range")
+                            .voltage_v();
+                        let v_to = self.table.get(target).expect("in range").voltage_v();
+                        self.meter
+                            .add_transition(self.regulator.transition_energy_j(v_from, v_to));
+                        self.phase = ChannelPhase::VoltageRamp {
+                            target,
+                            until: until + self.timing.voltage_ramp_cycles(),
+                        };
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.sync_meter(now);
+    }
+
+    fn check_ready(&self) -> Result<(), TransitionError> {
+        match self.busy_until() {
+            Some(busy_until) => Err(TransitionError::Busy { busy_until }),
+            None => Ok(()),
+        }
+    }
+
+    fn sync_meter(&mut self, now: Cycles) {
+        if now > self.last_meter_sync {
+            let dt = now - self.last_meter_sync;
+            let p = self.power_w();
+            self.meter.add_operating(p, dt);
+            self.last_meter_sync = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel_at(level: usize) -> DvsChannel {
+        DvsChannel::new(
+            VfTable::paper(),
+            TransitionTiming::paper_conservative(),
+            RegulatorParams::paper(),
+            level,
+        )
+    }
+
+    #[test]
+    fn new_channel_is_stable_and_operational() {
+        let ch = channel_at(9);
+        assert!(ch.is_stable());
+        assert!(ch.is_operational());
+        assert_eq!(ch.level(), 9);
+        assert_eq!(ch.target_level(), None);
+        assert_eq!(ch.busy_until(), None);
+        assert_eq!(ch.freq_x9(), 9000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_initial_level_panics() {
+        let _ = channel_at(10);
+    }
+
+    #[test]
+    fn step_up_sequences_voltage_then_frequency() {
+        let mut ch = channel_at(4);
+        ch.request_step_up(100).unwrap();
+        // Phase 1: voltage ramp, links functional at the OLD frequency.
+        assert!(matches!(
+            ch.phase(),
+            ChannelPhase::VoltageRamp {
+                target: 5,
+                until: 10_100
+            }
+        ));
+        assert!(ch.is_operational());
+        assert_eq!(ch.level(), 4, "frequency unchanged during voltage ramp");
+        ch.advance(10_100);
+        // Phase 2: frequency lock, links disabled. Lock runs at old (slower)
+        // frequency: level 4 -> freq_x9 = 1125 + 875*4 = 4625; 100 cycles
+        // -> ceil(900000/4625) = 195 router cycles.
+        match ch.phase() {
+            ChannelPhase::FreqLock { target: 5, until } => {
+                assert_eq!(until, 10_100 + 195);
+            }
+            p => panic!("expected frequency lock, got {p:?}"),
+        }
+        assert!(!ch.is_operational());
+        ch.advance(10_295);
+        assert!(ch.is_stable());
+        assert_eq!(ch.level(), 5);
+        assert_eq!(ch.stats().completed, 1);
+        assert_eq!(ch.stats().initiated_up, 1);
+    }
+
+    #[test]
+    fn step_down_sequences_frequency_then_voltage() {
+        let mut ch = channel_at(5);
+        ch.request_step_down(0).unwrap();
+        // Phase 1: frequency lock at the NEW (slower) frequency: level 4 ->
+        // freq_x9 = 4625, ceil(900000/4625) = 195.
+        match ch.phase() {
+            ChannelPhase::FreqLock { target: 4, until } => assert_eq!(until, 195),
+            p => panic!("expected frequency lock, got {p:?}"),
+        }
+        assert!(!ch.is_operational());
+        ch.advance(195);
+        // Phase 2: voltage ramp down; links functional at the new frequency.
+        assert!(matches!(
+            ch.phase(),
+            ChannelPhase::VoltageRamp {
+                target: 4,
+                until: 10_195
+            }
+        ));
+        assert!(ch.is_operational());
+        assert_eq!(
+            ch.level(),
+            4,
+            "frequency already at target during ramp-down"
+        );
+        ch.advance(10_195);
+        assert!(ch.is_stable());
+        assert_eq!(ch.level(), 4);
+        assert_eq!(ch.stats().initiated_down, 1);
+        assert_eq!(ch.stats().completed, 1);
+    }
+
+    #[test]
+    fn advance_jumps_across_multiple_phase_boundaries() {
+        let mut ch = channel_at(0);
+        ch.request_step_up(0).unwrap();
+        ch.advance(1_000_000);
+        assert!(ch.is_stable());
+        assert_eq!(ch.level(), 1);
+    }
+
+    #[test]
+    fn busy_channel_rejects_new_requests() {
+        let mut ch = channel_at(5);
+        ch.request_step_up(0).unwrap();
+        let err = ch.request_step_up(1).unwrap_err();
+        assert!(matches!(err, TransitionError::Busy { busy_until: 10_000 }));
+        assert!(matches!(
+            ch.request_step_down(1),
+            Err(TransitionError::Busy { .. })
+        ));
+    }
+
+    #[test]
+    fn extremes_reject_steps() {
+        let mut top = channel_at(9);
+        assert_eq!(top.request_step_up(0), Err(TransitionError::AtMaxLevel));
+        let mut bottom = channel_at(0);
+        assert_eq!(
+            bottom.request_step_down(0),
+            Err(TransitionError::AtMinLevel)
+        );
+    }
+
+    #[test]
+    fn transition_energy_is_charged_once_per_voltage_ramp() {
+        let mut ch = channel_at(3);
+        let expect = RegulatorParams::paper().transition_energy_j(
+            VfTable::paper().get(3).unwrap().voltage_v(),
+            VfTable::paper().get(4).unwrap().voltage_v(),
+        );
+        ch.request_step_up(0).unwrap();
+        ch.advance(1_000_000);
+        assert!((ch.meter().transition_j() - expect).abs() < 1e-15);
+        assert_eq!(ch.meter().voltage_transitions(), 1);
+        // And the same overhead on the way back down.
+        ch.request_step_down(1_000_000).unwrap();
+        ch.advance(2_000_000);
+        assert!((ch.meter().transition_j() - 2.0 * expect).abs() < 1e-15);
+        assert_eq!(ch.meter().voltage_transitions(), 2);
+    }
+
+    #[test]
+    fn operating_energy_integrates_power_over_time() {
+        let mut ch = channel_at(9);
+        ch.advance(1_000_000); // 1 ms at 200 mW = 200 µJ
+        assert!((ch.meter().operating_j() - 2e-4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn power_during_up_transition_uses_higher_level() {
+        let mut ch = channel_at(0);
+        let p_low = ch.power_w();
+        ch.request_step_up(0).unwrap();
+        assert!(ch.power_w() > p_low, "voltage heads up immediately");
+        let p1 = VfTable::paper().get(1).unwrap().power_w();
+        assert!((ch.power_w() - p1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_during_down_transition_stays_at_higher_level_until_ramp_ends() {
+        let mut ch = channel_at(9);
+        let p_high = ch.power_w();
+        ch.request_step_down(0).unwrap();
+        assert!((ch.power_w() - p_high).abs() < 1e-12);
+        ch.advance(112); // lock done (ceil(900000/8125) = 111 -> until 111)
+        assert!((ch.power_w() - p_high).abs() < 1e-12, "voltage still high");
+        ch.advance(200_000);
+        let p8 = VfTable::paper().get(8).unwrap().power_w();
+        assert!((ch.power_w() - p8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_count_scales_power() {
+        let ch = channel_at(9).with_link_count(8);
+        assert!((ch.power_w() - 1.6).abs() < 1e-12, "8 links x 200 mW");
+        assert_eq!(ch.link_count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn zero_link_count_panics() {
+        let _ = channel_at(0).with_link_count(0);
+    }
+
+    #[test]
+    fn disabled_cycles_are_counted() {
+        let mut ch = channel_at(9);
+        ch.request_step_down(0).unwrap();
+        ch.advance(1_000_000);
+        // Lock at level 8: freq_x9 = 8125, ceil(900000/8125) = 111.
+        assert_eq!(ch.stats().disabled_cycles, 111);
+    }
+
+    #[test]
+    fn round_trip_returns_to_same_level_and_energy_is_positive() {
+        let mut ch = channel_at(5);
+        let mut now = 0;
+        ch.request_step_down(now).unwrap();
+        now += 100_000;
+        ch.advance(now);
+        assert!(ch.is_stable());
+        ch.request_step_up(now).unwrap();
+        now += 100_000;
+        ch.advance(now);
+        assert!(ch.is_stable());
+        assert_eq!(ch.level(), 5);
+        assert_eq!(ch.stats().completed, 2);
+        assert!(ch.meter().total_j() > 0.0);
+    }
+}

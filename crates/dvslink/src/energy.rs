@@ -1,0 +1,189 @@
+/// Parameters of the adaptive power-supply regulator that feeds a channel's
+/// links.
+///
+/// Transition overhead energy follows Stratakos's first-order estimate
+/// (paper Eq. 1): `E = (1 − η) · C · |V₂² − V₁²|`, where `C` is the Buck
+/// converter's filter capacitance and `η` its power efficiency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegulatorParams {
+    capacitance_f: f64,
+    efficiency: f64,
+}
+
+impl RegulatorParams {
+    /// Create regulator parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacitance_f` is not finite and positive, or `efficiency`
+    /// is not within `(0, 1]`.
+    pub fn new(capacitance_f: f64, efficiency: f64) -> Self {
+        assert!(
+            capacitance_f.is_finite() && capacitance_f > 0.0,
+            "capacitance must be finite and positive"
+        );
+        assert!(
+            efficiency.is_finite() && efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
+        Self {
+            capacitance_f,
+            efficiency,
+        }
+    }
+
+    /// The paper's assumption: 5 µF filter capacitance, 90% efficiency
+    /// (from the Kim–Horowitz variable-frequency link).
+    pub fn paper() -> Self {
+        Self::new(5e-6, 0.9)
+    }
+
+    /// Filter capacitance in farads.
+    pub fn capacitance_f(&self) -> f64 {
+        self.capacitance_f
+    }
+
+    /// Regulator power efficiency in `(0, 1]`.
+    pub fn efficiency(&self) -> f64 {
+        self.efficiency
+    }
+
+    /// Overhead energy, in joules, of a voltage transition from `v1` to `v2`
+    /// volts (paper Eq. 1).
+    pub fn transition_energy_j(&self, v1: f64, v2: f64) -> f64 {
+        (1.0 - self.efficiency) * self.capacitance_f * (v2 * v2 - v1 * v1).abs()
+    }
+}
+
+impl Default for RegulatorParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Accumulates link energy, split into operating energy (power × time) and
+/// voltage-transition overhead energy.
+///
+/// Times are in router cycles (nanoseconds at the paper's 1 GHz router
+/// clock), so `add_operating(p, dt)` adds `p · dt · 1 ns` joules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyMeter {
+    operating_j: f64,
+    transition_j: f64,
+    voltage_transitions: u64,
+}
+
+impl EnergyMeter {
+    /// A meter with zero accumulated energy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `power_w` watts drawn for `cycles` router cycles (1 ns each).
+    pub fn add_operating(&mut self, power_w: f64, cycles: u64) {
+        self.operating_j += power_w * cycles as f64 * 1e-9;
+    }
+
+    /// Add a voltage-transition overhead of `energy_j` joules.
+    pub fn add_transition(&mut self, energy_j: f64) {
+        self.transition_j += energy_j;
+        self.voltage_transitions += 1;
+    }
+
+    /// Energy spent operating (power × time), in joules.
+    pub fn operating_j(&self) -> f64 {
+        self.operating_j
+    }
+
+    /// Overhead energy spent in voltage transitions, in joules.
+    pub fn transition_j(&self) -> f64 {
+        self.transition_j
+    }
+
+    /// Total accumulated energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.operating_j + self.transition_j
+    }
+
+    /// Number of voltage transitions recorded.
+    pub fn voltage_transitions(&self) -> u64 {
+        self.voltage_transitions
+    }
+
+    /// Average power over `cycles` router cycles, in watts.
+    ///
+    /// Returns 0 for a zero-length interval.
+    pub fn average_power_w(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.total_j() / (cycles as f64 * 1e-9)
+        }
+    }
+
+    /// Reset the meter to zero, returning the prior totals
+    /// `(operating_j, transition_j)`.
+    pub fn reset(&mut self) -> (f64, f64) {
+        let out = (self.operating_j, self.transition_j);
+        *self = Self::default();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_regulator_values() {
+        let r = RegulatorParams::paper();
+        assert!((r.capacitance_f() - 5e-6).abs() < 1e-18);
+        assert!((r.efficiency() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transition_energy_matches_stratakos_formula() {
+        let r = RegulatorParams::paper();
+        // Full swing 0.9 V -> 2.5 V: 0.1 * 5e-6 * (6.25 - 0.81) = 2.72 µJ.
+        let e = r.transition_energy_j(0.9, 2.5);
+        assert!((e - 2.72e-6).abs() < 1e-12);
+        // Symmetric in direction.
+        assert!((r.transition_energy_j(2.5, 0.9) - e).abs() < 1e-18);
+        // Zero for no swing.
+        assert_eq!(r.transition_energy_j(1.7, 1.7), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn invalid_efficiency_panics() {
+        let _ = RegulatorParams::new(5e-6, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance")]
+    fn invalid_capacitance_panics() {
+        let _ = RegulatorParams::new(-1.0, 0.9);
+    }
+
+    #[test]
+    fn meter_accumulates_and_resets() {
+        let mut m = EnergyMeter::new();
+        m.add_operating(0.2, 1_000_000); // 0.2 W for 1 ms = 200 µJ
+        assert!((m.operating_j() - 2e-4).abs() < 1e-12);
+        m.add_transition(2.72e-6);
+        assert_eq!(m.voltage_transitions(), 1);
+        assert!((m.total_j() - (2e-4 + 2.72e-6)).abs() < 1e-12);
+        let (op, tr) = m.reset();
+        assert!(op > 0.0 && tr > 0.0);
+        assert_eq!(m.total_j(), 0.0);
+        assert_eq!(m.voltage_transitions(), 0);
+    }
+
+    #[test]
+    fn average_power_roundtrips() {
+        let mut m = EnergyMeter::new();
+        m.add_operating(0.1, 500);
+        assert!((m.average_power_w(500) - 0.1).abs() < 1e-12);
+        assert_eq!(m.average_power_w(0), 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing or indexing a [`crate::VfTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LevelError {
+    /// The table was constructed with no levels.
+    Empty,
+    /// Frequencies are not strictly increasing at the given index.
+    NonMonotonicFrequency(usize),
+    /// Voltages are not monotonically non-decreasing at the given index.
+    NonMonotonicVoltage(usize),
+    /// Power values are not monotonically non-decreasing at the given index.
+    NonMonotonicPower(usize),
+    /// A voltage or power value is not finite and positive.
+    InvalidValue(usize),
+    /// A level index is out of range for the table.
+    OutOfRange {
+        /// The requested level index.
+        index: usize,
+        /// The number of levels in the table.
+        len: usize,
+    },
+}
+
+impl fmt::Display for LevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LevelError::Empty => write!(f, "voltage/frequency table has no levels"),
+            LevelError::NonMonotonicFrequency(i) => {
+                write!(f, "frequency does not strictly increase at level {i}")
+            }
+            LevelError::NonMonotonicVoltage(i) => {
+                write!(f, "voltage decreases at level {i}")
+            }
+            LevelError::NonMonotonicPower(i) => {
+                write!(f, "power decreases at level {i}")
+            }
+            LevelError::InvalidValue(i) => {
+                write!(f, "non-finite or non-positive value at level {i}")
+            }
+            LevelError::OutOfRange { index, len } => {
+                write!(
+                    f,
+                    "level index {index} out of range for table of {len} levels"
+                )
+            }
+        }
+    }
+}
+
+impl Error for LevelError {}
+
+/// Error starting a level transition on a [`crate::DvsChannel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransitionError {
+    /// The channel is already transitioning; a new transition cannot start
+    /// until the current one completes.
+    Busy {
+        /// Cycle at which the in-flight transition completes its current phase.
+        busy_until: u64,
+    },
+    /// The channel is already at the top level and cannot step up.
+    AtMaxLevel,
+    /// The channel is already at the bottom level and cannot step down.
+    AtMinLevel,
+}
+
+impl fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransitionError::Busy { busy_until } => {
+                write!(f, "channel is mid-transition until cycle {busy_until}")
+            }
+            TransitionError::AtMaxLevel => write!(f, "channel is already at the maximum level"),
+            TransitionError::AtMinLevel => write!(f, "channel is already at the minimum level"),
+        }
+    }
+}
+
+impl Error for TransitionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors: Vec<Box<dyn Error>> = vec![
+            Box::new(LevelError::Empty),
+            Box::new(LevelError::NonMonotonicFrequency(3)),
+            Box::new(LevelError::OutOfRange { index: 12, len: 10 }),
+            Box::new(TransitionError::Busy { busy_until: 42 }),
+            Box::new(TransitionError::AtMaxLevel),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LevelError>();
+        assert_send_sync::<TransitionError>();
+    }
+}

@@ -1,0 +1,379 @@
+use crate::LevelError;
+
+/// Number of discrete voltage/frequency levels in the paper's link model.
+pub const PAPER_LEVELS: usize = 10;
+
+/// Exact-rational frequency representation: frequencies are stored scaled by
+/// 9 so that the paper's linear 125→1000 MHz spacing over ten levels stays in
+/// integer arithmetic (`125 + i·875/9` MHz ⇒ `1125 + i·875` in ×9 units).
+const FREQ_X9_MIN: u32 = 9 * 125;
+const FREQ_X9_SPAN: u32 = 9 * (1000 - 125);
+
+/// One operating point of a DVS link: a frequency, the minimum supply voltage
+/// at which the link circuitry functions at that frequency, and the link
+/// power drawn when running there.
+///
+/// Construct these through [`VfTable`]; the table enforces monotonicity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VfLevel {
+    freq_x9_mhz: u32,
+    voltage_v: f64,
+    power_w: f64,
+}
+
+impl VfLevel {
+    /// Link frequency in MHz.
+    pub fn freq_mhz(&self) -> f64 {
+        f64::from(self.freq_x9_mhz) / 9.0
+    }
+
+    /// Link frequency scaled by 9, in MHz units.
+    ///
+    /// This exact integer form is what cycle-accurate simulators should use
+    /// for serialization-rate accumulators: a link at this level delivers one
+    /// flit per `9000 / freq_x9()` router cycles (router clock = 1 GHz)
+    /// without floating-point drift.
+    pub fn freq_x9(&self) -> u32 {
+        self.freq_x9_mhz
+    }
+
+    /// Link clock period in nanoseconds.
+    pub fn period_ns(&self) -> f64 {
+        9000.0 / f64::from(self.freq_x9_mhz)
+    }
+
+    /// Minimum supply voltage for this frequency, in volts.
+    pub fn voltage_v(&self) -> f64 {
+        self.voltage_v
+    }
+
+    /// Power drawn by one serial link operating at this level, in watts.
+    pub fn power_w(&self) -> f64 {
+        self.power_w
+    }
+}
+
+/// An ordered table of [`VfLevel`] operating points, slowest first.
+///
+/// Level `0` is the slowest/lowest-voltage point and `len() - 1` the fastest.
+/// (The paper's Algorithm 1 indexes its tables the other way around — its
+/// `CurLevel + 1` means *slower* — but an ascending order keeps `step_up`
+/// meaning "faster", which is less error-prone for callers.)
+///
+/// # Example
+///
+/// ```
+/// use dvslink::VfTable;
+///
+/// let t = VfTable::paper();
+/// assert_eq!(t.len(), 10);
+/// assert!((t.min().freq_mhz() - 125.0).abs() < 1e-9);
+/// assert!((t.max().power_w() - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VfTable {
+    levels: Vec<VfLevel>,
+}
+
+impl VfTable {
+    /// The ten-level table used throughout the paper's evaluation.
+    ///
+    /// Frequency is linear from 125 MHz to 1 GHz and voltage linear from
+    /// 0.9 V to 2.5 V (the paper fixes only the endpoints and the level
+    /// count). Power follows an affine dynamic fit `P = α·V²·f + β` anchored
+    /// at the paper's endpoints (23.6 mW and 200 mW per link); the affine
+    /// static term models the bias currents visible in the Kim–Horowitz
+    /// measurements, which a pure `V²f` law cannot reproduce.
+    pub fn paper() -> Self {
+        Self::interpolated(PAPER_LEVELS, 0.9, 2.5, 0.0236, 0.2)
+            .expect("paper table parameters are valid")
+    }
+
+    /// Build a table of `n` levels with linear frequency (125 MHz → 1 GHz)
+    /// and voltage (`v_min` → `v_max`) spacing and an affine `V²f` power fit
+    /// anchored at `p_min_w` and `p_max_w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelError`] if `n == 0`, if any parameter is non-finite or
+    /// non-positive, or if the resulting table is non-monotonic (e.g.
+    /// `v_min > v_max`).
+    pub fn interpolated(
+        n: usize,
+        v_min: f64,
+        v_max: f64,
+        p_min_w: f64,
+        p_max_w: f64,
+    ) -> Result<Self, LevelError> {
+        if n == 0 {
+            return Err(LevelError::Empty);
+        }
+        let steps = (n - 1).max(1) as u32;
+        let f_min_ghz = f64::from(FREQ_X9_MIN) / 9000.0;
+        let f_max_ghz = 1.0;
+        let x_min = v_min * v_min * f_min_ghz;
+        let x_max = v_max * v_max * f_max_ghz;
+        let (alpha, beta) = if n == 1 || (x_max - x_min).abs() < f64::EPSILON {
+            (0.0, p_max_w)
+        } else {
+            let alpha = (p_max_w - p_min_w) / (x_max - x_min);
+            (alpha, p_min_w - alpha * x_min)
+        };
+        let levels = (0..n)
+            .map(|i| {
+                let i32u = i as u32;
+                let freq_x9_mhz = if n == 1 {
+                    FREQ_X9_MIN + FREQ_X9_SPAN
+                } else {
+                    FREQ_X9_MIN + FREQ_X9_SPAN * i32u / steps
+                };
+                let t = if n == 1 { 1.0 } else { i as f64 / steps as f64 };
+                let voltage_v = v_min + (v_max - v_min) * t;
+                let f_ghz = f64::from(freq_x9_mhz) / 9000.0;
+                let power_w = alpha * voltage_v * voltage_v * f_ghz + beta;
+                VfLevel {
+                    freq_x9_mhz,
+                    voltage_v,
+                    power_w,
+                }
+            })
+            .collect();
+        Self::from_levels(levels)
+    }
+
+    /// Build a table from explicit levels, validating ordering invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelError`] if the table is empty, contains non-finite or
+    /// non-positive voltages/powers, or is not ordered slowest-first with
+    /// strictly increasing frequency and non-decreasing voltage and power.
+    pub fn from_levels(levels: Vec<VfLevel>) -> Result<Self, LevelError> {
+        if levels.is_empty() {
+            return Err(LevelError::Empty);
+        }
+        for (i, l) in levels.iter().enumerate() {
+            if !(l.voltage_v.is_finite() && l.voltage_v > 0.0)
+                || !(l.power_w.is_finite() && l.power_w > 0.0)
+                || l.freq_x9_mhz == 0
+            {
+                return Err(LevelError::InvalidValue(i));
+            }
+            if i > 0 {
+                let prev = &levels[i - 1];
+                if l.freq_x9_mhz <= prev.freq_x9_mhz {
+                    return Err(LevelError::NonMonotonicFrequency(i));
+                }
+                if l.voltage_v < prev.voltage_v {
+                    return Err(LevelError::NonMonotonicVoltage(i));
+                }
+                if l.power_w < prev.power_w {
+                    return Err(LevelError::NonMonotonicPower(i));
+                }
+            }
+        }
+        Ok(Self { levels })
+    }
+
+    /// Build a single level directly (useful for custom tables).
+    ///
+    /// `freq_x9_mhz` is the frequency scaled by 9 (see [`VfLevel::freq_x9`]).
+    pub fn level(freq_x9_mhz: u32, voltage_v: f64, power_w: f64) -> VfLevel {
+        VfLevel {
+            freq_x9_mhz,
+            voltage_v,
+            power_w,
+        }
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the table has no levels (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The level at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelError::OutOfRange`] if `index >= len()`.
+    pub fn get(&self, index: usize) -> Result<&VfLevel, LevelError> {
+        self.levels.get(index).ok_or(LevelError::OutOfRange {
+            index,
+            len: self.levels.len(),
+        })
+    }
+
+    /// The slowest level.
+    pub fn min(&self) -> &VfLevel {
+        &self.levels[0]
+    }
+
+    /// The fastest level.
+    pub fn max(&self) -> &VfLevel {
+        &self.levels[self.levels.len() - 1]
+    }
+
+    /// Index of the fastest level (`len() - 1`).
+    pub fn top(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Iterate over levels, slowest first.
+    pub fn iter(&self) -> std::slice::Iter<'_, VfLevel> {
+        self.levels.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a VfTable {
+    type Item = &'a VfLevel;
+    type IntoIter = std::slice::Iter<'a, VfLevel>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.levels.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_endpoints_match_paper() {
+        let t = VfTable::paper();
+        assert_eq!(t.len(), 10);
+        assert!((t.min().freq_mhz() - 125.0).abs() < 1e-9);
+        assert!((t.max().freq_mhz() - 1000.0).abs() < 1e-9);
+        assert!((t.min().voltage_v() - 0.9).abs() < 1e-12);
+        assert!((t.max().voltage_v() - 2.5).abs() < 1e-12);
+        assert!((t.min().power_w() - 0.0236).abs() < 1e-9);
+        assert!((t.max().power_w() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_table_is_monotone() {
+        let t = VfTable::paper();
+        for w in t.iter().collect::<Vec<_>>().windows(2) {
+            assert!(w[1].freq_x9() > w[0].freq_x9());
+            assert!(w[1].voltage_v() >= w[0].voltage_v());
+            assert!(w[1].power_w() >= w[0].power_w());
+        }
+    }
+
+    #[test]
+    fn freq_x9_is_exact_linear_spacing() {
+        let t = VfTable::paper();
+        for (i, l) in t.iter().enumerate() {
+            assert_eq!(l.freq_x9(), 1125 + 875 * i as u32);
+        }
+    }
+
+    #[test]
+    fn period_at_extremes() {
+        let t = VfTable::paper();
+        assert!((t.max().period_ns() - 1.0).abs() < 1e-12);
+        assert!((t.min().period_ns() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        assert_eq!(VfTable::from_levels(vec![]), Err(LevelError::Empty));
+        assert!(matches!(
+            VfTable::interpolated(0, 0.9, 2.5, 0.02, 0.2),
+            Err(LevelError::Empty)
+        ));
+    }
+
+    #[test]
+    fn non_monotonic_rejected() {
+        let a = VfTable::level(2000, 1.0, 0.05);
+        let b = VfTable::level(1000, 1.5, 0.10);
+        assert_eq!(
+            VfTable::from_levels(vec![a, b]),
+            Err(LevelError::NonMonotonicFrequency(1))
+        );
+        let c = VfTable::level(3000, 0.5, 0.20);
+        assert_eq!(
+            VfTable::from_levels(vec![a, c]),
+            Err(LevelError::NonMonotonicVoltage(1))
+        );
+        let d = VfTable::level(3000, 1.5, 0.01);
+        assert_eq!(
+            VfTable::from_levels(vec![a, d]),
+            Err(LevelError::NonMonotonicPower(1))
+        );
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let bad_v = VfTable::level(1000, -1.0, 0.1);
+        assert_eq!(
+            VfTable::from_levels(vec![bad_v]),
+            Err(LevelError::InvalidValue(0))
+        );
+        let bad_p = VfTable::level(1000, 1.0, f64::NAN);
+        assert_eq!(
+            VfTable::from_levels(vec![bad_p]),
+            Err(LevelError::InvalidValue(0))
+        );
+        let bad_f = VfTable::level(0, 1.0, 0.1);
+        assert_eq!(
+            VfTable::from_levels(vec![bad_f]),
+            Err(LevelError::InvalidValue(0))
+        );
+    }
+
+    #[test]
+    fn get_out_of_range() {
+        let t = VfTable::paper();
+        assert!(t.get(9).is_ok());
+        assert_eq!(
+            t.get(10),
+            Err(LevelError::OutOfRange { index: 10, len: 10 })
+        );
+    }
+
+    #[test]
+    fn power_fit_is_affine_in_v2f() {
+        // Interior levels must lie exactly on the alpha*V^2*f + beta line.
+        let t = VfTable::paper();
+        let x = |l: &VfLevel| l.voltage_v() * l.voltage_v() * l.freq_mhz() / 1000.0;
+        let (x0, p0) = (x(t.min()), t.min().power_w());
+        let (x9, p9) = (x(t.max()), t.max().power_w());
+        let alpha = (p9 - p0) / (x9 - x0);
+        let beta = p0 - alpha * x0;
+        for l in t.iter() {
+            let expect = alpha * x(l) + beta;
+            assert!((l.power_w() - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_level_table() {
+        let t = VfTable::interpolated(1, 2.5, 2.5, 0.2, 0.2).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.top(), 0);
+        assert!((t.min().freq_mhz() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_power_range_ratio_matches_paper() {
+        // The paper quotes ~8.5X between the slowest and fastest level.
+        let t = VfTable::paper();
+        let ratio = t.max().power_w() / t.min().power_w();
+        assert!((ratio - 200.0 / 23.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_iterates_in_order() {
+        let t = VfTable::paper();
+        let freqs: Vec<u32> = (&t).into_iter().map(VfLevel::freq_x9).collect();
+        let mut sorted = freqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(freqs, sorted);
+    }
+}

@@ -1,0 +1,79 @@
+//! Dynamic-voltage-scaled (DVS) link model.
+//!
+//! This crate models the DVS links described in *Dynamic Voltage Scaling with
+//! Links for Power Optimization of Interconnection Networks* (Shang, Peh, Jha
+//! — HPCA 2003), themselves an extension of the Wei/Kim–Horowitz
+//! variable-frequency links. A link (or a *channel* of several serial links
+//! sharing one adaptive power-supply regulator) supports a fixed set of
+//! discrete frequency/voltage levels and transitions between *adjacent*
+//! levels under the control of an architectural policy.
+//!
+//! The model captures the four characteristics the paper identifies as
+//! critical to architectural DVS policies:
+//!
+//! 1. **Transition time** — voltage ramps take microseconds (Buck-converter
+//!    charge/discharge of the off-chip filter capacitor); frequency locks
+//!    take on the order of 100 link-clock cycles.
+//! 2. **Transition energy** — charged per voltage ramp using Stratakos's
+//!    first-order estimate `(1 − η) · C · |V₂² − V₁²|`.
+//! 3. **Transition status** — the link *functions* during voltage ramps but
+//!    is *disabled* during frequency locks (the receiver is re-acquiring the
+//!    input clock).
+//! 4. **Transition step** — only a fixed number of discrete levels exist and
+//!    transitions move one level at a time.
+//!
+//! The ordering of phases follows the paper: when speeding up, voltage rises
+//! first (link still running at the old, lower frequency), then the frequency
+//! locks; when slowing down, the frequency drops first, then the voltage
+//! ramps down (link running at the new, lower frequency).
+//!
+//! # Example
+//!
+//! ```
+//! use dvslink::{DvsChannel, RegulatorParams, TransitionTiming, VfTable};
+//!
+//! let table = VfTable::paper();
+//! let mut ch = DvsChannel::new(
+//!     table,
+//!     TransitionTiming::paper_conservative(),
+//!     RegulatorParams::paper(),
+//!     9, // start at the fastest level
+//! );
+//! assert!(ch.is_operational());
+//! ch.request_step_down(0).expect("fastest level can step down");
+//! // The frequency lock disables the channel for a while...
+//! assert!(!ch.is_operational());
+//! while !ch.is_stable() {
+//!     ch.advance(ch.busy_until().unwrap());
+//! }
+//! assert_eq!(ch.level(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod energy;
+mod error;
+mod level;
+mod noise;
+mod router_power;
+mod timing;
+
+pub use channel::{ChannelPhase, DvsChannel, TransitionStats};
+pub use energy::{EnergyMeter, RegulatorParams};
+pub use error::{LevelError, TransitionError};
+pub use level::{VfLevel, VfTable, PAPER_LEVELS};
+pub use noise::NoiseModel;
+pub use router_power::{RouterPowerBudget, RouterPowerComponent};
+pub use timing::TransitionTiming;
+
+/// Simulation time in router-clock cycles.
+///
+/// The paper's routers run at 1 GHz, so one cycle is one nanosecond; all
+/// wall-clock figures in this crate (e.g. the 10 µs voltage ramp) are
+/// converted at that rate.
+pub type Cycles = u64;
+
+/// Router-clock frequency assumed for cycle↔time conversions, in MHz.
+pub const ROUTER_CLOCK_MHZ: u32 = 1000;

@@ -1,0 +1,184 @@
+//! Link noise and bit-error-rate model (paper §2).
+//!
+//! DVS links trade noise margin for power: lowering the supply voltage
+//! magnifies the sensitivity of the link circuitry to supply noise,
+//! crosstalk, and jitter, while lowering the frequency *improves*
+//! reliability by shrinking the ratio of timing uncertainty to bit time.
+//! The paper assumes (based on the Kim–Horowitz link) that the whole
+//! 0.9–2.5 V / 125 MHz–1 GHz operating range stays above the noise margin
+//! at a 10⁻¹⁵ bit error rate; this module makes that assumption checkable
+//! for *custom* tables instead of silently trusting it.
+//!
+//! The model is the standard first-order one for binary signaling: a bit
+//! error occurs when Gaussian amplitude noise exceeds half the received
+//! swing within the available timing window, so
+//! `BER = ½·erfc(Q/√2)` with `Q = margin / σ_noise`, where the margin
+//! combines the voltage headroom above the minimum swing and the timing
+//! slack left after jitter.
+
+use crate::{VfLevel, VfTable};
+
+/// Complementary error function: Abramowitz–Stegun 7.1.26 for small
+/// arguments (|abs error| < 1.5e-7) and the two-term asymptotic expansion
+/// `exp(-x²)/(x·√π)·(1 − 1/(2x²))` for `x ≥ 3`, which is accurate in
+/// *relative* terms and therefore resolves the 10⁻¹⁵-scale BERs link
+/// designers quote.
+fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x >= 3.0 {
+        return (-x * x).exp() / (x * std::f64::consts::PI.sqrt()) * (1.0 - 1.0 / (2.0 * x * x));
+    }
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    t * (0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))))
+        * (-x * x).exp()
+}
+
+/// First-order noise model of a DVS link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// RMS amplitude noise referred to the receiver input, in volts
+    /// (supply noise + crosstalk + offsets).
+    pub sigma_v: f64,
+    /// RMS timing uncertainty (jitter), in nanoseconds.
+    pub jitter_ns: f64,
+    /// Minimum voltage swing the receiver needs to resolve a bit, in volts.
+    pub min_swing_v: f64,
+}
+
+impl NoiseModel {
+    /// Parameters consistent with the paper's reliability claim: a
+    /// 0.25 µm-era serial link resolving 10⁻¹⁵ BER across the whole
+    /// 0.9–2.5 V, 125 MHz–1 GHz range.
+    pub fn paper() -> Self {
+        Self {
+            sigma_v: 0.04,
+            jitter_ns: 0.08,
+            min_swing_v: 0.2,
+        }
+    }
+
+    /// The noise quality factor `Q` at an operating point: voltage margin
+    /// derated by the fraction of the bit time lost to jitter.
+    ///
+    /// Returns 0 when the level has no margin at all (swing at or below the
+    /// receiver minimum, or jitter consuming the whole bit time).
+    pub fn q_factor(&self, level: &VfLevel) -> f64 {
+        let swing = level.voltage_v();
+        let margin_v = (swing - self.min_swing_v) / 2.0;
+        if margin_v <= 0.0 {
+            return 0.0;
+        }
+        let bit_time = level.period_ns();
+        let timing_derate = 1.0 - (self.jitter_ns / bit_time).min(1.0);
+        if timing_derate <= 0.0 {
+            return 0.0;
+        }
+        margin_v * timing_derate / self.sigma_v
+    }
+
+    /// Estimated bit error rate at an operating point: `½·erfc(Q/√2)`.
+    pub fn ber(&self, level: &VfLevel) -> f64 {
+        0.5 * erfc(self.q_factor(level) / std::f64::consts::SQRT_2)
+    }
+
+    /// Whether every level of `table` achieves at least `target_ber`
+    /// (e.g. `1e-15`). DVS policies must not command levels that cannot
+    /// signal reliably.
+    pub fn table_meets(&self, table: &VfTable, target_ber: f64) -> bool {
+        table.iter().all(|l| self.ber(l) <= target_ber)
+    }
+
+    /// The worst (highest) BER over a table and the level index achieving
+    /// it. Useful for reporting which end of a custom table is marginal.
+    pub fn worst_ber(&self, table: &VfTable) -> (usize, f64) {
+        table
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i, self.ber(l)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("BERs are finite"))
+            .expect("tables are non-empty")
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_matches_reference_points() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-6);
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-5);
+        assert!((erfc(2.0) - 0.004678).abs() < 1e-5);
+        assert!((erfc(-1.0) - 1.842701).abs() < 1e-5);
+        // Symmetric: erfc(-x) = 2 - erfc(x).
+        assert!((erfc(-0.7) + erfc(0.7) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_table_meets_the_papers_ber_claim() {
+        // The paper claims 1e-15 BER over the whole range; our default
+        // noise parameters must be consistent with that claim.
+        let m = NoiseModel::paper();
+        assert!(
+            m.table_meets(&VfTable::paper(), 1e-15),
+            "worst BER {:?}",
+            m.worst_ber(&VfTable::paper())
+        );
+    }
+
+    #[test]
+    fn lower_voltage_is_less_reliable_at_fixed_frequency() {
+        let m = NoiseModel::paper();
+        let high = VfTable::level(9000, 2.5, 0.2);
+        let low = VfTable::level(9000, 1.0, 0.05);
+        assert!(m.ber(&low) > m.ber(&high));
+        assert!(m.q_factor(&low) < m.q_factor(&high));
+    }
+
+    #[test]
+    fn lower_frequency_is_more_reliable_at_fixed_voltage() {
+        // The paper's point: frequency reduction shrinks the timing
+        // uncertainty relative to bit time, improving reliability.
+        let m = NoiseModel::paper();
+        let fast = VfTable::level(9000, 0.9, 0.02); // 1 ns bit time
+        let slow = VfTable::level(1125, 0.9, 0.02); // 8 ns bit time
+        assert!(m.ber(&slow) < m.ber(&fast));
+    }
+
+    #[test]
+    fn hopeless_operating_points_saturate_to_coin_flip() {
+        let m = NoiseModel::paper();
+        // Swing below the receiver minimum: no eye at all.
+        let dead = VfTable::level(9000, 0.2, 0.01);
+        assert_eq!(m.q_factor(&dead), 0.0);
+        assert!((m.ber(&dead) - 0.5).abs() < 1e-6);
+        // Jitter eating the whole bit time.
+        let m2 = NoiseModel {
+            jitter_ns: 2.0,
+            ..NoiseModel::paper()
+        };
+        let fast = VfTable::level(9000, 2.5, 0.2);
+        assert_eq!(m2.q_factor(&fast), 0.0);
+    }
+
+    #[test]
+    fn marginal_tables_are_rejected() {
+        let m = NoiseModel {
+            sigma_v: 0.3, // very noisy environment
+            ..NoiseModel::paper()
+        };
+        assert!(!m.table_meets(&VfTable::paper(), 1e-15));
+        let (idx, worst) = m.worst_ber(&VfTable::paper());
+        assert_eq!(idx, 0, "the lowest-voltage level is the marginal one");
+        assert!(worst > 1e-15);
+    }
+}

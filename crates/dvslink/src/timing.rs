@@ -1,0 +1,112 @@
+use crate::Cycles;
+
+/// Transition latencies of a DVS link, per adjacent-level step.
+///
+/// The paper's conservative defaults (current circuit technology, §2) are a
+/// 10 µs voltage ramp and a 100-link-clock-cycle frequency lock; §4.4.3
+/// explores faster links down to 1 µs and 10 cycles.
+///
+/// # Example
+///
+/// ```
+/// use dvslink::TransitionTiming;
+///
+/// let fast = TransitionTiming::new(1_000, 10);
+/// assert!(fast.voltage_ramp_cycles() < TransitionTiming::paper_conservative().voltage_ramp_cycles());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransitionTiming {
+    voltage_ramp_cycles: Cycles,
+    freq_lock_link_cycles: u32,
+}
+
+impl TransitionTiming {
+    /// Create a timing model.
+    ///
+    /// `voltage_ramp_cycles` is the voltage transition latency between
+    /// adjacent levels in router-clock cycles (= nanoseconds at 1 GHz).
+    /// `freq_lock_link_cycles` is the frequency transition latency in *link*
+    /// clock cycles; the wall-clock duration therefore depends on the link
+    /// frequency and is computed conservatively at the slower of the two
+    /// levels involved in the step.
+    pub fn new(voltage_ramp_cycles: Cycles, freq_lock_link_cycles: u32) -> Self {
+        Self {
+            voltage_ramp_cycles,
+            freq_lock_link_cycles,
+        }
+    }
+
+    /// The paper's conservative assumption: 10 µs voltage ramp, 100 link
+    /// clock cycles frequency lock.
+    pub fn paper_conservative() -> Self {
+        Self::new(10_000, 100)
+    }
+
+    /// The fastest link explored in §4.4.3: 1 µs voltage ramp, 10 link
+    /// clock cycles frequency lock.
+    pub fn paper_aggressive() -> Self {
+        Self::new(1_000, 10)
+    }
+
+    /// Voltage-ramp latency per adjacent-level step, in router cycles.
+    pub fn voltage_ramp_cycles(&self) -> Cycles {
+        self.voltage_ramp_cycles
+    }
+
+    /// Frequency-lock latency per adjacent-level step, in link clock cycles.
+    pub fn freq_lock_link_cycles(&self) -> u32 {
+        self.freq_lock_link_cycles
+    }
+
+    /// Wall-clock duration of the frequency lock in router cycles, when the
+    /// slower of the two levels runs at `freq_x9_mhz` (frequency ×9 in MHz;
+    /// see [`crate::VfLevel::freq_x9`]).
+    ///
+    /// Rounds up so a partially elapsed link cycle still counts as busy.
+    pub fn freq_lock_router_cycles(&self, freq_x9_mhz: u32) -> Cycles {
+        // cycles * period_ns = cycles * 9000 / freq_x9, rounded up.
+        let num = u64::from(self.freq_lock_link_cycles) * 9000;
+        num.div_ceil(u64::from(freq_x9_mhz.max(1)))
+    }
+}
+
+impl Default for TransitionTiming {
+    fn default() -> Self {
+        Self::paper_conservative()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let t = TransitionTiming::paper_conservative();
+        assert_eq!(t.voltage_ramp_cycles(), 10_000);
+        assert_eq!(t.freq_lock_link_cycles(), 100);
+        assert_eq!(t, TransitionTiming::default());
+    }
+
+    #[test]
+    fn freq_lock_duration_scales_with_link_period() {
+        let t = TransitionTiming::paper_conservative();
+        // At 1 GHz link clock (freq_x9 = 9000): 100 cycles == 100 ns.
+        assert_eq!(t.freq_lock_router_cycles(9000), 100);
+        // At 125 MHz (freq_x9 = 1125): period 8 ns -> 800 ns.
+        assert_eq!(t.freq_lock_router_cycles(1125), 800);
+    }
+
+    #[test]
+    fn freq_lock_rounds_up() {
+        let t = TransitionTiming::new(0, 1);
+        // One link cycle at freq_x9 = 7000 -> 9000/7000 = 1.28.. -> 2 cycles.
+        assert_eq!(t.freq_lock_router_cycles(7000), 2);
+    }
+
+    #[test]
+    fn zero_frequency_does_not_divide_by_zero() {
+        let t = TransitionTiming::paper_conservative();
+        assert_eq!(t.freq_lock_router_cycles(0), 900_000);
+    }
+}

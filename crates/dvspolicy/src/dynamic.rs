@@ -1,0 +1,188 @@
+use dvslink::DvsChannel;
+use netsim::{LinkPolicy, WindowMeasures};
+
+use crate::{HistoryDvsConfig, HistoryDvsPolicy};
+
+/// The paper's §4.4.2 extension: dynamically adjusted threshold settings.
+///
+/// The paper observes that Table 2's settings trade latency for power
+/// monotonically and "point to the possibility of dynamically adjusting
+/// threshold settings". This policy implements that suggestion: it runs the
+/// ordinary history-based policy, but every `adjust_every` windows it moves
+/// the light-load threshold setting one step more aggressive (toward VI)
+/// while the port has seen sustained slack, and one step more conservative
+/// (toward I) when predicted buffer utilization indicates rising pressure.
+#[derive(Debug, Clone)]
+pub struct DynamicThresholdPolicy {
+    inner: HistoryDvsPolicy,
+    setting: usize,
+    adjust_every: u64,
+    windows_seen: u64,
+    /// Buffer-utilization level treated as "pressure" for tuning purposes.
+    pressure_bu: f64,
+    /// Link-utilization level treated as "slack" for tuning purposes.
+    slack_lu: f64,
+    adjustments: u64,
+}
+
+impl DynamicThresholdPolicy {
+    /// Create a dynamic-threshold policy starting at Table 2 setting
+    /// `initial_setting` (`1..=6`), re-tuning every `adjust_every` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_setting` is outside `1..=6` or `adjust_every`
+    /// is zero.
+    pub fn new(initial_setting: usize, adjust_every: u64) -> Self {
+        assert!(
+            (1..=6).contains(&initial_setting),
+            "initial setting must be a Table 2 setting (1..=6)"
+        );
+        assert!(adjust_every > 0, "adjustment period must be positive");
+        Self {
+            inner: HistoryDvsPolicy::new(HistoryDvsConfig::paper_table2(initial_setting)),
+            setting: initial_setting,
+            adjust_every,
+            windows_seen: 0,
+            pressure_bu: 0.3,
+            slack_lu: 0.2,
+            adjustments: 0,
+        }
+    }
+
+    /// Paper defaults: start at setting III, re-tune every 50 windows
+    /// (10 k cycles at `H = 200`).
+    pub fn paper() -> Self {
+        Self::new(3, 50)
+    }
+
+    /// The Table 2 setting currently active.
+    pub fn setting(&self) -> usize {
+        self.setting
+    }
+
+    /// How many times the setting changed.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    fn retune(&mut self) {
+        let lu = self.inner.predicted_link_utilization().unwrap_or(0.0);
+        let bu = self.inner.predicted_buffer_utilization().unwrap_or(0.0);
+        let new = if bu > self.pressure_bu && self.setting > 1 {
+            self.setting - 1
+        } else if lu < self.slack_lu && bu < self.pressure_bu / 2.0 && self.setting < 6 {
+            self.setting + 1
+        } else {
+            self.setting
+        };
+        if new != self.setting {
+            self.setting = new;
+            self.adjustments += 1;
+            // Preserve the EWMA state across the threshold change.
+            let mut replacement = HistoryDvsPolicy::new(HistoryDvsConfig::paper_table2(new));
+            std::mem::swap(&mut replacement, &mut self.inner);
+            self.inner = Self::transplant(replacement, new);
+        }
+    }
+
+    fn transplant(old: HistoryDvsPolicy, setting: usize) -> HistoryDvsPolicy {
+        // Rebuild with the new thresholds, carrying the EWMA state across so
+        // the swap does not erase the accumulated history.
+        let mut fresh = HistoryDvsPolicy::new(HistoryDvsConfig::paper_table2(setting));
+        if let (Some(lu), Some(bu)) = (
+            old.predicted_link_utilization(),
+            old.predicted_buffer_utilization(),
+        ) {
+            let mut lu_e = crate::Ewma::new(fresh.config().weight);
+            lu_e.update(lu);
+            let mut bu_e = crate::Ewma::new(fresh.config().weight);
+            bu_e.update(bu);
+            fresh.set_predictors(lu_e, bu_e);
+        }
+        fresh
+    }
+}
+
+impl LinkPolicy for DynamicThresholdPolicy {
+    fn window_cycles(&self) -> u64 {
+        self.inner.window_cycles()
+    }
+
+    fn on_window(&mut self, measures: &WindowMeasures, channel: &mut DvsChannel) {
+        self.inner.on_window(measures, channel);
+        self.windows_seen += 1;
+        if self.windows_seen % self.adjust_every == 0 {
+            self.retune();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvslink::{RegulatorParams, TransitionTiming, VfTable};
+
+    fn channel_at(level: usize) -> DvsChannel {
+        DvsChannel::new(
+            VfTable::paper(),
+            TransitionTiming::paper_conservative(),
+            RegulatorParams::paper(),
+            level,
+        )
+    }
+
+    fn measures(lu: f64, bu: f64, now: u64) -> WindowMeasures {
+        WindowMeasures {
+            window_cycles: 200,
+            flits_sent: (lu * 200.0).round() as u64,
+            link_slots: 200,
+            buf_occupancy_sum: (bu * 200.0 * 128.0).round() as u64,
+            buf_capacity: 128,
+            now,
+        }
+    }
+
+    #[test]
+    fn sustained_slack_moves_toward_aggressive_settings() {
+        let mut p = DynamicThresholdPolicy::new(3, 5);
+        let mut ch = channel_at(0); // already slowest; no transitions interfere
+        for i in 0..30 {
+            p.on_window(&measures(0.05, 0.0, 200 * (i + 1)), &mut ch);
+        }
+        assert!(p.setting() > 3, "setting {} did not increase", p.setting());
+        assert!(p.adjustments() > 0);
+    }
+
+    #[test]
+    fn buffer_pressure_moves_toward_conservative_settings() {
+        let mut p = DynamicThresholdPolicy::new(3, 5);
+        let mut ch = channel_at(9); // already fastest
+        for i in 0..30 {
+            p.on_window(&measures(0.9, 0.6, 200 * (i + 1)), &mut ch);
+        }
+        assert!(p.setting() < 3, "setting {} did not decrease", p.setting());
+    }
+
+    #[test]
+    fn settings_stay_in_table2_range() {
+        let mut p = DynamicThresholdPolicy::new(1, 2);
+        let mut ch = channel_at(9);
+        for i in 0..100 {
+            p.on_window(&measures(0.9, 0.9, 200 * (i + 1)), &mut ch);
+            assert!((1..=6).contains(&p.setting()));
+        }
+        let mut p = DynamicThresholdPolicy::new(6, 2);
+        let mut ch = channel_at(0);
+        for i in 0..100 {
+            p.on_window(&measures(0.0, 0.0, 200 * (i + 1)), &mut ch);
+            assert!((1..=6).contains(&p.setting()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Table 2 setting")]
+    fn bad_initial_setting_panics() {
+        let _ = DynamicThresholdPolicy::new(0, 5);
+    }
+}

@@ -1,0 +1,136 @@
+/// The paper's exponentially weighted average predictor (Eq. 5):
+///
+/// ```text
+/// Par_predict = (W · Par_current + Par_past) / (W + 1)
+/// ```
+///
+/// where `Par_past` is the previous *prediction* (not the previous raw
+/// sample). With `W = 3` the divide is a right-shift and the numerator a
+/// shift-and-add — the hardware realization the paper synthesizes.
+///
+/// # Example
+///
+/// ```
+/// use dvspolicy::Ewma;
+///
+/// let mut e = Ewma::new(3);
+/// assert_eq!(e.update(0.8), 0.8); // first sample seeds the history
+/// let second = e.update(0.0);
+/// assert!((second - 0.2).abs() < 1e-12); // (3*0.0 + 0.8) / 4
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    weight: u32,
+    past: Option<f64>,
+}
+
+impl Ewma {
+    /// Create a predictor with weight `W` on the current sample.
+    pub fn new(weight: u32) -> Self {
+        Self { weight, past: None }
+    }
+
+    /// The paper's `W = 3`.
+    pub fn paper() -> Self {
+        Self::new(3)
+    }
+
+    /// The configured weight.
+    pub fn weight(&self) -> u32 {
+        self.weight
+    }
+
+    /// Feed one sample; returns the new prediction. The first sample seeds
+    /// the history directly.
+    pub fn update(&mut self, current: f64) -> f64 {
+        let predict = match self.past {
+            None => current,
+            Some(past) => (f64::from(self.weight) * current + past) / f64::from(self.weight + 1),
+        };
+        self.past = Some(predict);
+        predict
+    }
+
+    /// The latest prediction, if any sample has been seen.
+    pub fn prediction(&self) -> Option<f64> {
+        self.past
+    }
+
+    /// Forget all history.
+    pub fn reset(&mut self) {
+        self.past = None;
+    }
+}
+
+impl Default for Ewma {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_seeds() {
+        let mut e = Ewma::paper();
+        assert_eq!(e.prediction(), None);
+        assert_eq!(e.update(0.5), 0.5);
+        assert_eq!(e.prediction(), Some(0.5));
+    }
+
+    #[test]
+    fn follows_paper_recurrence() {
+        let mut e = Ewma::new(3);
+        e.update(1.0);
+        // (3*0 + 1)/4 = 0.25
+        assert!((e.update(0.0) - 0.25).abs() < 1e-12);
+        // (3*0 + 0.25)/4 = 0.0625
+        assert!((e.update(0.0) - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(3);
+        e.update(0.0);
+        let mut last = 0.0;
+        for _ in 0..50 {
+            last = e.update(0.8);
+        }
+        assert!((last - 0.8).abs() < 1e-3);
+    }
+
+    #[test]
+    fn higher_weight_tracks_faster() {
+        let mut slow = Ewma::new(1);
+        let mut fast = Ewma::new(7);
+        slow.update(0.0);
+        fast.update(0.0);
+        let s = slow.update(1.0);
+        let f = fast.update(1.0);
+        assert!(
+            f > s,
+            "weight 7 ({f}) should track a step faster than weight 1 ({s})"
+        );
+    }
+
+    #[test]
+    fn stays_within_input_bounds() {
+        let mut e = Ewma::paper();
+        let inputs = [0.9, 0.1, 0.4, 0.0, 1.0, 0.7];
+        for v in inputs {
+            let p = e.update(v);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut e = Ewma::paper();
+        e.update(0.9);
+        e.reset();
+        assert_eq!(e.prediction(), None);
+        assert_eq!(e.update(0.1), 0.1);
+    }
+}

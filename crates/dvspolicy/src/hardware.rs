@@ -1,0 +1,76 @@
+/// Hardware cost model of the policy circuit (paper §3.3).
+///
+/// The paper synthesized its per-port policy hardware — two utilization
+/// counters, a Booth multiplier, two EWMA registers with shift-and-add
+/// update (`W = 3`), and threshold comparators — with Synopsys Design
+/// Compiler in TSMC 0.25 µm, arriving at ~500 equivalent gates and <3 mW per
+/// router port, off the router's critical path. We embed those published
+/// numbers; [`network_power_overhead_w`](Self::network_power_overhead_w)
+/// lets experiments verify the control overhead is negligible against the
+/// hundreds of watts of link power it manages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareCost {
+    gates_per_port: u32,
+    power_per_port_w: f64,
+}
+
+impl HardwareCost {
+    /// The paper's synthesis results: 500 gates, 3 mW per port (the paper's
+    /// stated upper bound).
+    pub fn paper() -> Self {
+        Self {
+            gates_per_port: 500,
+            power_per_port_w: 0.003,
+        }
+    }
+
+    /// Equivalent logic gates per router port.
+    pub fn gates_per_port(&self) -> u32 {
+        self.gates_per_port
+    }
+
+    /// Policy-circuit power per router port, in watts.
+    pub fn power_per_port_w(&self) -> f64 {
+        self.power_per_port_w
+    }
+
+    /// Total gate count for a network of `routers` routers with
+    /// `ports_per_router` DVS-controlled ports each.
+    pub fn network_gates(&self, routers: usize, ports_per_router: usize) -> u64 {
+        u64::from(self.gates_per_port) * routers as u64 * ports_per_router as u64
+    }
+
+    /// Total policy power overhead for a network, in watts.
+    pub fn network_power_overhead_w(&self, routers: usize, ports_per_router: usize) -> f64 {
+        self.power_per_port_w * routers as f64 * ports_per_router as f64
+    }
+}
+
+impl Default for HardwareCost {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let h = HardwareCost::paper();
+        assert_eq!(h.gates_per_port(), 500);
+        assert!((h.power_per_port_w() - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_totals_scale() {
+        let h = HardwareCost::paper();
+        // The paper's 8x8 mesh: 64 routers x 4 network ports.
+        assert_eq!(h.network_gates(64, 4), 128_000);
+        let p = h.network_power_overhead_w(64, 4);
+        assert!((p - 0.768).abs() < 1e-12);
+        // Overhead must be negligible against the 409.6 W link budget.
+        assert!(p / 409.6 < 0.002);
+    }
+}

@@ -1,0 +1,285 @@
+use dvslink::{DvsChannel, TransitionError};
+use netsim::{LinkPolicy, WindowMeasures};
+
+use crate::{DualThresholds, Ewma};
+
+/// Configuration of the history-based DVS policy (paper Table 1 defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryDvsConfig {
+    /// History window `H` in router cycles.
+    pub window: u64,
+    /// EWMA weight `W` on the current sample.
+    pub weight: u32,
+    /// The four-threshold scheme.
+    pub thresholds: DualThresholds,
+}
+
+impl HistoryDvsConfig {
+    /// The paper's parameters: `W = 3`, `H = 200`, Table 1 thresholds.
+    pub fn paper() -> Self {
+        Self {
+            window: 200,
+            weight: 3,
+            thresholds: DualThresholds::paper(),
+        }
+    }
+
+    /// Paper defaults with the light-load thresholds replaced by Table 2
+    /// setting `1..=6` (the §4.4.2 trade-off study).
+    pub fn paper_table2(setting: usize) -> Self {
+        Self {
+            thresholds: DualThresholds::paper_with_table2(setting),
+            ..Self::paper()
+        }
+    }
+}
+
+impl Default for HistoryDvsConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The paper's Algorithm 1: a distributed history-based DVS policy living at
+/// one router output port.
+///
+/// Every history window it folds the window's link utilization (`LU`) and
+/// downstream input-buffer utilization (`BU`) into EWMA predictions, selects
+/// the light-load or congested threshold pair by comparing predicted `BU`
+/// against `B_congested`, and then steps the channel one level down (when
+/// `LU` is below the low threshold), one level up (above the high
+/// threshold), or not at all.
+///
+/// Predictions update every window; *actions* apply only when the channel is
+/// stable — the paper's conservative links spend 10 µs per voltage ramp, far
+/// longer than `H = 200` cycles, so decisions made mid-transition would act
+/// on stale state. Step requests at the top/bottom level are no-ops.
+#[derive(Debug, Clone)]
+pub struct HistoryDvsPolicy {
+    config: HistoryDvsConfig,
+    lu: Ewma,
+    bu: Ewma,
+    steps_up: u64,
+    steps_down: u64,
+}
+
+impl HistoryDvsPolicy {
+    /// Create a policy instance (one per output port).
+    pub fn new(config: HistoryDvsConfig) -> Self {
+        let w = config.weight;
+        Self {
+            config,
+            lu: Ewma::new(w),
+            bu: Ewma::new(w),
+            steps_up: 0,
+            steps_down: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HistoryDvsConfig {
+        &self.config
+    }
+
+    /// Latest link-utilization prediction.
+    pub fn predicted_link_utilization(&self) -> Option<f64> {
+        self.lu.prediction()
+    }
+
+    /// Latest buffer-utilization prediction.
+    pub fn predicted_buffer_utilization(&self) -> Option<f64> {
+        self.bu.prediction()
+    }
+
+    /// Step-up decisions taken so far.
+    pub fn steps_up(&self) -> u64 {
+        self.steps_up
+    }
+
+    /// Step-down decisions taken so far.
+    pub fn steps_down(&self) -> u64 {
+        self.steps_down
+    }
+
+    pub(crate) fn set_predictors(&mut self, lu: Ewma, bu: Ewma) {
+        self.lu = lu;
+        self.bu = bu;
+    }
+}
+
+impl LinkPolicy for HistoryDvsPolicy {
+    fn window_cycles(&self) -> u64 {
+        self.config.window
+    }
+
+    fn on_window(&mut self, measures: &WindowMeasures, channel: &mut DvsChannel) {
+        // A window in which the link had no transmission opportunity (it was
+        // frequency-locking the whole time) carries no utilization
+        // information; folding a spurious 0 into the EWMA right after an
+        // upgrade would immediately undo it.
+        let lu = if measures.link_slots > 0 {
+            self.lu.update(measures.link_utilization())
+        } else {
+            match self.lu.prediction() {
+                Some(p) => p,
+                None => return,
+            }
+        };
+        let bu = self.bu.update(measures.buffer_utilization());
+        if !channel.is_stable() {
+            return;
+        }
+        let t = self.config.thresholds.select(bu);
+        if lu < t.low() {
+            match channel.request_step_down(measures.now) {
+                Ok(()) => self.steps_down += 1,
+                Err(TransitionError::AtMinLevel) => {}
+                Err(e) => unreachable!("stable channel rejected step down: {e}"),
+            }
+        } else if lu > t.high() {
+            match channel.request_step_up(measures.now) {
+                Ok(()) => self.steps_up += 1,
+                Err(TransitionError::AtMaxLevel) => {}
+                Err(e) => unreachable!("stable channel rejected step up: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvslink::{RegulatorParams, TransitionTiming, VfTable};
+
+    fn channel_at(level: usize) -> DvsChannel {
+        DvsChannel::new(
+            VfTable::paper(),
+            TransitionTiming::paper_conservative(),
+            RegulatorParams::paper(),
+            level,
+        )
+    }
+
+    fn measures(lu: f64, bu: f64, now: u64) -> WindowMeasures {
+        // Construct measures whose derived LU/BU equal the given values.
+        let window = 200;
+        let slots = 200;
+        WindowMeasures {
+            window_cycles: window,
+            flits_sent: (lu * slots as f64).round() as u64,
+            link_slots: slots,
+            buf_occupancy_sum: (bu * window as f64 * 128.0).round() as u64,
+            buf_capacity: 128,
+            now,
+        }
+    }
+
+    #[test]
+    fn idle_link_steps_down() {
+        let mut p = HistoryDvsPolicy::new(HistoryDvsConfig::paper());
+        let mut ch = channel_at(9);
+        p.on_window(&measures(0.0, 0.0, 200), &mut ch);
+        assert_eq!(ch.target_level(), Some(8));
+        assert_eq!(p.steps_down(), 1);
+    }
+
+    #[test]
+    fn busy_link_steps_up() {
+        let mut p = HistoryDvsPolicy::new(HistoryDvsConfig::paper());
+        let mut ch = channel_at(0);
+        p.on_window(&measures(0.9, 0.0, 200), &mut ch);
+        assert_eq!(ch.target_level(), Some(1));
+        assert_eq!(p.steps_up(), 1);
+    }
+
+    #[test]
+    fn middle_band_does_nothing() {
+        let mut p = HistoryDvsPolicy::new(HistoryDvsConfig::paper());
+        let mut ch = channel_at(5);
+        p.on_window(&measures(0.35, 0.0, 200), &mut ch);
+        assert!(ch.is_stable());
+        assert_eq!(ch.level(), 5);
+        assert_eq!(p.steps_up() + p.steps_down(), 0);
+    }
+
+    #[test]
+    fn congestion_switches_to_aggressive_thresholds() {
+        // LU = 0.5 is "keep" under TL (0.3/0.4 -> up at >0.4... actually 0.5
+        // exceeds TL_high and would step UP), but under TH (0.6/0.7) it is
+        // below TH_low and steps DOWN. Buffer utilization decides.
+        let mut light = HistoryDvsPolicy::new(HistoryDvsConfig::paper());
+        let mut ch1 = channel_at(5);
+        light.on_window(&measures(0.5, 0.1, 200), &mut ch1);
+        assert_eq!(ch1.target_level(), Some(6), "light load: step up");
+
+        let mut congested = HistoryDvsPolicy::new(HistoryDvsConfig::paper());
+        let mut ch2 = channel_at(5);
+        congested.on_window(&measures(0.5, 0.9, 200), &mut ch2);
+        assert_eq!(ch2.target_level(), Some(4), "congested: step down");
+    }
+
+    #[test]
+    fn no_action_while_transitioning_but_history_updates() {
+        let mut p = HistoryDvsPolicy::new(HistoryDvsConfig::paper());
+        let mut ch = channel_at(5);
+        p.on_window(&measures(0.0, 0.0, 200), &mut ch);
+        assert!(!ch.is_stable());
+        let before = p.predicted_link_utilization().unwrap();
+        p.on_window(&measures(1.0, 0.0, 400), &mut ch);
+        let after = p.predicted_link_utilization().unwrap();
+        assert!(after > before, "prediction still updates mid-transition");
+        assert_eq!(p.steps_down(), 1, "no second action while busy");
+    }
+
+    #[test]
+    fn bottom_and_top_levels_are_no_ops() {
+        let mut p = HistoryDvsPolicy::new(HistoryDvsConfig::paper());
+        let mut low = channel_at(0);
+        p.on_window(&measures(0.0, 0.0, 200), &mut low);
+        assert!(low.is_stable());
+        assert_eq!(low.level(), 0);
+
+        let mut p2 = HistoryDvsPolicy::new(HistoryDvsConfig::paper());
+        let mut high = channel_at(9);
+        p2.on_window(&measures(1.0, 0.0, 200), &mut high);
+        assert!(high.is_stable());
+        assert_eq!(high.level(), 9);
+    }
+
+    #[test]
+    fn ewma_filters_transient_dips_that_would_trip_a_reactive_policy() {
+        // After a long history at LU = 0.38, a single window at 0.28 is
+        // below TL_low = 0.3, so a memoryless policy would step down; the
+        // EWMA keeps the prediction at (3·0.28 + 0.38)/4 = 0.305 ≥ 0.3 and
+        // holds the level.
+        let mut p = HistoryDvsPolicy::new(HistoryDvsConfig::paper());
+        let mut ch = channel_at(9);
+        for i in 0..20 {
+            p.on_window(&measures(0.38, 0.0, 200 * (i + 1)), &mut ch);
+        }
+        assert!(ch.is_stable());
+        p.on_window(&measures(0.28, 0.0, 4400), &mut ch);
+        assert!(ch.is_stable(), "one moderate dip is filtered out");
+        assert_eq!(ch.level(), 9);
+        // A memoryless policy on the same trace does step down.
+        let mut r = crate::ReactiveDvsPolicy::paper();
+        let mut ch2 = channel_at(9);
+        r.on_window(&measures(0.28, 0.0, 200), &mut ch2);
+        assert_eq!(ch2.target_level(), Some(8));
+    }
+
+    #[test]
+    fn table2_settings_change_aggressiveness() {
+        // LU = 0.45: setting I (0.2/0.3) steps up; setting VI (0.5/0.6)
+        // steps down.
+        let mut p1 = HistoryDvsPolicy::new(HistoryDvsConfig::paper_table2(1));
+        let mut c1 = channel_at(5);
+        p1.on_window(&measures(0.45, 0.0, 200), &mut c1);
+        assert_eq!(c1.target_level(), Some(6));
+
+        let mut p6 = HistoryDvsPolicy::new(HistoryDvsConfig::paper_table2(6));
+        let mut c6 = channel_at(5);
+        p6.on_window(&measures(0.45, 0.0, 200), &mut c6);
+        assert_eq!(c6.target_level(), Some(4));
+    }
+}

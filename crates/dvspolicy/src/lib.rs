@@ -1,0 +1,62 @@
+//! History-based dynamic voltage scaling policies for network links.
+//!
+//! This crate implements the *contribution* of the HPCA 2003 paper: the
+//! distributed, history-based DVS policy (its Algorithm 1) that sits at each
+//! router output port, predicts near-future traffic from past link and
+//! input-buffer utilization, and steps the port's [`dvslink::DvsChannel`] up
+//! or down one level at a time.
+//!
+//! The policy combines two locally observable measures:
+//!
+//! - **link utilization** (`LU`, paper Eq. 2) — the primary signal, highly
+//!   sensitive to load below saturation but ambiguous near congestion (it
+//!   *drops* when the downstream buffers fill up);
+//! - **input-buffer utilization** (`BU`, paper Eq. 3) — a congestion litmus
+//!   that switches the policy to a more aggressive threshold pair when the
+//!   downstream router is backed up (link delay is hidden by queueing there,
+//!   so lowering frequency is nearly free).
+//!
+//! Both are smoothed by an exponentially weighted average (paper Eq. 5)
+//! with a hardware-friendly weight (`W = 3` makes the divide a shift).
+//!
+//! Besides the paper's policy, the crate provides baselines and ablations:
+//! [`ReactiveDvsPolicy`] (no history — acts on the raw window measures) and
+//! [`DynamicThresholdPolicy`] (the paper's §4.4.2 suggestion of adapting the
+//! threshold set at runtime), plus the [`HardwareCost`] model from §3.3.
+//!
+//! # Example
+//!
+//! ```
+//! use dvspolicy::{HistoryDvsConfig, HistoryDvsPolicy};
+//! use netsim::{Network, NetworkConfig};
+//!
+//! let cfg = HistoryDvsConfig::paper();
+//! let mut net = Network::with_policies(NetworkConfig::paper_8x8(), |_, _| {
+//!     Box::new(HistoryDvsPolicy::new(cfg.clone()))
+//! })
+//! .unwrap();
+//! // An idle network drifts toward the lowest level.
+//! for _ in 0..200_000 {
+//!     net.step();
+//! }
+//! assert!(net.mean_channel_level() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dynamic;
+mod ewma;
+mod hardware;
+mod history;
+mod reactive;
+mod target;
+mod thresholds;
+
+pub use dynamic::DynamicThresholdPolicy;
+pub use ewma::Ewma;
+pub use hardware::HardwareCost;
+pub use history::{HistoryDvsConfig, HistoryDvsPolicy};
+pub use reactive::ReactiveDvsPolicy;
+pub use target::TargetUtilizationPolicy;
+pub use thresholds::{DualThresholds, ThresholdError, ThresholdSet};

@@ -1,0 +1,137 @@
+use dvslink::{DvsChannel, TransitionError};
+use netsim::{LinkPolicy, WindowMeasures};
+
+use crate::DualThresholds;
+
+/// Ablation of [`crate::HistoryDvsPolicy`]: the same four-threshold decision
+/// rule applied to each window's *raw* measures, with no exponentially
+/// weighted history.
+///
+/// The paper argues history is what filters out transient fluctuations; this
+/// policy exists to quantify that claim (it reacts to every burst and dip,
+/// so it transitions far more often for little extra benefit — see the
+/// ablation benches).
+#[derive(Debug, Clone)]
+pub struct ReactiveDvsPolicy {
+    window: u64,
+    thresholds: DualThresholds,
+    steps_up: u64,
+    steps_down: u64,
+}
+
+impl ReactiveDvsPolicy {
+    /// Create a reactive policy with history window `window` and the given
+    /// thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64, thresholds: DualThresholds) -> Self {
+        assert!(window > 0, "history window must be positive");
+        Self {
+            window,
+            thresholds,
+            steps_up: 0,
+            steps_down: 0,
+        }
+    }
+
+    /// The paper's window and thresholds, minus the history.
+    pub fn paper() -> Self {
+        Self::new(200, DualThresholds::paper())
+    }
+
+    /// Step-up decisions taken so far.
+    pub fn steps_up(&self) -> u64 {
+        self.steps_up
+    }
+
+    /// Step-down decisions taken so far.
+    pub fn steps_down(&self) -> u64 {
+        self.steps_down
+    }
+}
+
+impl LinkPolicy for ReactiveDvsPolicy {
+    fn window_cycles(&self) -> u64 {
+        self.window
+    }
+
+    fn on_window(&mut self, measures: &WindowMeasures, channel: &mut DvsChannel) {
+        if !channel.is_stable() {
+            return;
+        }
+        // No transmission opportunity -> no utilization information.
+        if measures.link_slots == 0 {
+            return;
+        }
+        let t = self.thresholds.select(measures.buffer_utilization());
+        let lu = measures.link_utilization();
+        if lu < t.low() {
+            match channel.request_step_down(measures.now) {
+                Ok(()) => self.steps_down += 1,
+                Err(TransitionError::AtMinLevel) => {}
+                Err(e) => unreachable!("stable channel rejected step down: {e}"),
+            }
+        } else if lu > t.high() {
+            match channel.request_step_up(measures.now) {
+                Ok(()) => self.steps_up += 1,
+                Err(TransitionError::AtMaxLevel) => {}
+                Err(e) => unreachable!("stable channel rejected step up: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvslink::{RegulatorParams, TransitionTiming, VfTable};
+
+    fn channel_at(level: usize) -> DvsChannel {
+        DvsChannel::new(
+            VfTable::paper(),
+            TransitionTiming::paper_conservative(),
+            RegulatorParams::paper(),
+            level,
+        )
+    }
+
+    fn measures(lu: f64, bu: f64, now: u64) -> WindowMeasures {
+        WindowMeasures {
+            window_cycles: 200,
+            flits_sent: (lu * 200.0).round() as u64,
+            link_slots: 200,
+            buf_occupancy_sum: (bu * 200.0 * 128.0).round() as u64,
+            buf_capacity: 128,
+            now,
+        }
+    }
+
+    #[test]
+    fn reacts_immediately_to_a_single_window() {
+        let mut p = ReactiveDvsPolicy::paper();
+        let mut ch = channel_at(9);
+        // History-based would need several idle windows from a high EWMA;
+        // reactive drops on the first one.
+        p.on_window(&measures(0.0, 0.0, 200), &mut ch);
+        assert_eq!(ch.target_level(), Some(8));
+        assert_eq!(p.steps_down(), 1);
+    }
+
+    #[test]
+    fn same_thresholds_as_history_policy() {
+        let mut p = ReactiveDvsPolicy::paper();
+        let mut ch = channel_at(5);
+        p.on_window(&measures(0.35, 0.0, 200), &mut ch);
+        assert!(ch.is_stable(), "middle band holds");
+        p.on_window(&measures(0.5, 0.9, 400), &mut ch);
+        assert_eq!(ch.target_level(), Some(4), "congested thresholds apply");
+    }
+
+    #[test]
+    #[should_panic(expected = "history window")]
+    fn zero_window_panics() {
+        let _ = ReactiveDvsPolicy::new(0, DualThresholds::paper());
+    }
+}

@@ -1,0 +1,180 @@
+use dvslink::DvsChannel;
+use netsim::{LinkPolicy, WindowMeasures};
+
+use crate::Ewma;
+
+/// A "future work" extension of the paper's policy: instead of comparing
+/// utilization against fixed thresholds and stepping ±1, estimate the
+/// *demand* in flits/cycle from the EWMA-smoothed measures and head for the
+/// slowest level whose capacity keeps utilization at a set point.
+///
+/// Transitions still move one level at a time (that is a hardware
+/// constraint of the link, not of the policy), but the direction is chosen
+/// against an absolute target instead of a local band, which avoids the
+/// threshold policy's hunting between adjacent levels whose utilizations
+/// straddle the band.
+#[derive(Debug, Clone)]
+pub struct TargetUtilizationPolicy {
+    window: u64,
+    /// Desired utilization of the chosen level, in `(0, 1)`.
+    set_point: f64,
+    demand: Ewma,
+    steps: u64,
+}
+
+impl TargetUtilizationPolicy {
+    /// Create a policy with history window `window` cycles targeting
+    /// `set_point` utilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `set_point` is not in `(0, 1)`.
+    pub fn new(window: u64, set_point: f64) -> Self {
+        assert!(window > 0, "history window must be positive");
+        assert!(
+            set_point > 0.0 && set_point < 1.0,
+            "set point must be in (0, 1)"
+        );
+        Self {
+            window,
+            set_point,
+            demand: Ewma::paper(),
+            steps: 0,
+        }
+    }
+
+    /// Paper-comparable defaults: `H = 200`, 35% utilization set point (the
+    /// middle of the paper's TL band).
+    pub fn paper_comparable() -> Self {
+        Self::new(200, 0.35)
+    }
+
+    /// Level transitions initiated so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The level this policy would pick for `demand` flits/cycle on
+    /// `channel`'s table: the slowest level whose capacity at the set point
+    /// covers the demand.
+    fn target_level(&self, channel: &DvsChannel, demand: f64) -> usize {
+        let table = channel.table();
+        for (i, level) in table.iter().enumerate() {
+            let capacity = f64::from(level.freq_x9()) / 9000.0;
+            if capacity * self.set_point >= demand {
+                return i;
+            }
+        }
+        table.top()
+    }
+}
+
+impl LinkPolicy for TargetUtilizationPolicy {
+    fn window_cycles(&self) -> u64 {
+        self.window
+    }
+
+    fn on_window(&mut self, measures: &WindowMeasures, channel: &mut DvsChannel) {
+        // Demand in flits per router cycle: flits sent per wall-clock cycle.
+        // Under credit stalls this *under*-estimates true demand, like the
+        // paper's LU; the EWMA smooths bursts the same way.
+        if measures.window_cycles == 0 {
+            return;
+        }
+        let raw = measures.flits_sent as f64 / measures.window_cycles as f64;
+        let demand = self.demand.update(raw);
+        if !channel.is_stable() {
+            return;
+        }
+        let target = self.target_level(channel, demand);
+        let result = match target.cmp(&channel.level()) {
+            std::cmp::Ordering::Greater => channel.request_step_up(measures.now),
+            std::cmp::Ordering::Less => channel.request_step_down(measures.now),
+            std::cmp::Ordering::Equal => return,
+        };
+        if result.is_ok() {
+            self.steps += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvslink::{RegulatorParams, TransitionTiming, VfTable};
+
+    fn channel_at(level: usize) -> DvsChannel {
+        DvsChannel::new(
+            VfTable::paper(),
+            TransitionTiming::paper_conservative(),
+            RegulatorParams::paper(),
+            level,
+        )
+    }
+
+    fn measures(flits_per_cycle: f64, now: u64) -> WindowMeasures {
+        WindowMeasures {
+            window_cycles: 200,
+            flits_sent: (flits_per_cycle * 200.0).round() as u64,
+            link_slots: 200,
+            buf_occupancy_sum: 0,
+            buf_capacity: 128,
+            now,
+        }
+    }
+
+    #[test]
+    fn idle_heads_to_bottom_and_busy_to_top() {
+        let mut p = TargetUtilizationPolicy::paper_comparable();
+        let mut ch = channel_at(9);
+        p.on_window(&measures(0.0, 200), &mut ch);
+        assert_eq!(ch.target_level(), Some(8), "idle heads down");
+
+        let mut p2 = TargetUtilizationPolicy::paper_comparable();
+        let mut ch2 = channel_at(0);
+        // 0.9 flits/cycle needs the top level even at 100% utilization.
+        for i in 0..10 {
+            ch2.advance(200_000 * (i + 1));
+            p2.on_window(&measures(0.9, 200_000 * (i + 1)), &mut ch2);
+        }
+        assert!(
+            ch2.level() > 0 || ch2.target_level().is_some(),
+            "sustained demand must climb"
+        );
+    }
+
+    #[test]
+    fn chooses_the_slowest_sufficient_level() {
+        let p = TargetUtilizationPolicy::new(200, 0.35);
+        let ch = channel_at(5);
+        // demand 0.1 flits/cycle: need capacity >= 0.286. Level 1 has
+        // 0.222, level 2 has 0.319 -> target level 2.
+        assert_eq!(p.target_level(&ch, 0.1), 2);
+        // Tiny demand -> bottom; impossible demand -> top.
+        assert_eq!(p.target_level(&ch, 0.001), 0);
+        assert_eq!(p.target_level(&ch, 5.0), 9);
+    }
+
+    #[test]
+    fn no_hunting_at_a_stable_demand() {
+        // Demand sits exactly between two levels' band edges under the
+        // threshold policy; the target policy must settle and stop stepping.
+        let mut p = TargetUtilizationPolicy::paper_comparable();
+        let mut ch = channel_at(2);
+        let mut now = 0;
+        for _ in 0..50 {
+            now += 200_000; // long enough for any transition to settle
+            ch.advance(now);
+            p.on_window(&measures(0.1, now), &mut ch);
+        }
+        ch.advance(now + 200_000);
+        assert_eq!(ch.level(), 2, "settled at the sufficient level");
+        assert!(p.steps() <= 2, "stepped {} times", p.steps());
+    }
+
+    #[test]
+    #[should_panic(expected = "set point")]
+    fn bad_set_point_panics() {
+        let _ = TargetUtilizationPolicy::new(200, 1.5);
+    }
+}

@@ -1,0 +1,250 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdError {
+    /// A threshold lies outside `[0, 1]` or is not finite.
+    OutOfRange(f64),
+    /// `low` does not lie strictly below `high`.
+    Inverted {
+        /// The configured low threshold.
+        low: f64,
+        /// The configured high threshold.
+        high: f64,
+    },
+}
+
+impl fmt::Display for ThresholdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThresholdError::OutOfRange(v) => write!(f, "threshold {v} outside [0, 1]"),
+            ThresholdError::Inverted { low, high } => {
+                write!(f, "low threshold {low} not below high threshold {high}")
+            }
+        }
+    }
+}
+
+impl Error for ThresholdError {}
+
+/// A `(low, high)` utilization threshold pair: predicted link utilization
+/// below `low` steps the link slower, above `high` steps it faster, and in
+/// between leaves it alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdSet {
+    low: f64,
+    high: f64,
+}
+
+impl ThresholdSet {
+    /// Create a pair with `0 ≤ low < high ≤ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThresholdError`] otherwise.
+    pub fn new(low: f64, high: f64) -> Result<Self, ThresholdError> {
+        for v in [low, high] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(ThresholdError::OutOfRange(v));
+            }
+        }
+        if low >= high {
+            return Err(ThresholdError::Inverted { low, high });
+        }
+        Ok(Self { low, high })
+    }
+
+    /// The six light-load threshold settings of the paper's Table 2,
+    /// `setting` in `1..=6` (I–VI). Setting III is the paper's default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `setting` is outside `1..=6`.
+    pub fn paper_table2(setting: usize) -> Self {
+        let (low, high) = match setting {
+            1 => (0.20, 0.30),
+            2 => (0.25, 0.35),
+            3 => (0.30, 0.40),
+            4 => (0.35, 0.45),
+            5 => (0.40, 0.50),
+            6 => (0.50, 0.60),
+            _ => panic!("Table 2 settings are I..=VI (1..=6), got {setting}"),
+        };
+        Self::new(low, high).expect("Table 2 values are valid")
+    }
+
+    /// Threshold below which the link steps slower.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Threshold above which the link steps faster.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+}
+
+/// The paper's four-threshold scheme: one [`ThresholdSet`] used while the
+/// network is lightly loaded (`TL`) and a more aggressive one while the
+/// downstream router looks congested (`TH`), selected by comparing predicted
+/// buffer utilization against `b_congested`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DualThresholds {
+    light: ThresholdSet,
+    congested: ThresholdSet,
+    b_congested: f64,
+}
+
+impl DualThresholds {
+    /// Combine a light-load and a congested threshold pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThresholdError::OutOfRange`] if `b_congested` is outside
+    /// `[0, 1]`.
+    pub fn new(
+        light: ThresholdSet,
+        congested: ThresholdSet,
+        b_congested: f64,
+    ) -> Result<Self, ThresholdError> {
+        if !b_congested.is_finite() || !(0.0..=1.0).contains(&b_congested) {
+            return Err(ThresholdError::OutOfRange(b_congested));
+        }
+        Ok(Self {
+            light,
+            congested,
+            b_congested,
+        })
+    }
+
+    /// The paper's Table 1 values: `TL = (0.3, 0.4)`, `TH = (0.6, 0.7)`,
+    /// `B_congested = 0.5`.
+    pub fn paper() -> Self {
+        Self::new(
+            ThresholdSet::new(0.3, 0.4).expect("valid"),
+            ThresholdSet::new(0.6, 0.7).expect("valid"),
+            0.5,
+        )
+        .expect("paper thresholds are valid")
+    }
+
+    /// The paper's defaults with the light-load pair replaced by a Table 2
+    /// setting (used by the §4.4.2 trade-off study).
+    pub fn paper_with_table2(setting: usize) -> Self {
+        Self {
+            light: ThresholdSet::paper_table2(setting),
+            ..Self::paper()
+        }
+    }
+
+    /// The pair active at `buffer_utilization`.
+    pub fn select(&self, buffer_utilization: f64) -> &ThresholdSet {
+        if buffer_utilization < self.b_congested {
+            &self.light
+        } else {
+            &self.congested
+        }
+    }
+
+    /// Light-load pair (`TL`).
+    pub fn light(&self) -> &ThresholdSet {
+        &self.light
+    }
+
+    /// Congested pair (`TH`).
+    pub fn congested(&self) -> &ThresholdSet {
+        &self.congested
+    }
+
+    /// Buffer-utilization level at which the congested pair takes over.
+    pub fn b_congested(&self) -> f64 {
+        self.b_congested
+    }
+}
+
+impl Default for DualThresholds {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table1() {
+        let d = DualThresholds::paper();
+        assert_eq!((d.light().low(), d.light().high()), (0.3, 0.4));
+        assert_eq!((d.congested().low(), d.congested().high()), (0.6, 0.7));
+        assert_eq!(d.b_congested(), 0.5);
+    }
+
+    #[test]
+    fn selection_switches_at_b_congested() {
+        let d = DualThresholds::paper();
+        assert_eq!(d.select(0.0), d.light());
+        assert_eq!(d.select(0.49), d.light());
+        assert_eq!(d.select(0.5), d.congested());
+        assert_eq!(d.select(1.0), d.congested());
+    }
+
+    #[test]
+    fn table2_settings_match_paper_and_grow_monotonically() {
+        let expected = [
+            (0.20, 0.30),
+            (0.25, 0.35),
+            (0.30, 0.40),
+            (0.35, 0.45),
+            (0.40, 0.50),
+            (0.50, 0.60),
+        ];
+        for (i, (lo, hi)) in expected.iter().enumerate() {
+            let t = ThresholdSet::paper_table2(i + 1);
+            assert_eq!((t.low(), t.high()), (*lo, *hi));
+        }
+        // Setting III is the paper default.
+        let d = DualThresholds::paper();
+        let iii = ThresholdSet::paper_table2(3);
+        assert_eq!(d.light(), &iii);
+    }
+
+    #[test]
+    #[should_panic(expected = "Table 2")]
+    fn table2_setting_out_of_range_panics() {
+        let _ = ThresholdSet::paper_table2(7);
+    }
+
+    #[test]
+    fn invalid_thresholds_rejected() {
+        assert!(matches!(
+            ThresholdSet::new(-0.1, 0.5),
+            Err(ThresholdError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            ThresholdSet::new(0.2, 1.5),
+            Err(ThresholdError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            ThresholdSet::new(0.5, 0.4),
+            Err(ThresholdError::Inverted { .. })
+        ));
+        assert!(matches!(
+            ThresholdSet::new(0.4, 0.4),
+            Err(ThresholdError::Inverted { .. })
+        ));
+        let t = ThresholdSet::new(0.1, 0.9).unwrap();
+        assert!(matches!(
+            DualThresholds::new(t, t, 2.0),
+            Err(ThresholdError::OutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ThresholdSet::new(0.5, 0.4).unwrap_err();
+        assert!(e.to_string().contains("0.5"));
+        assert!(e.to_string().contains("0.4"));
+    }
+}

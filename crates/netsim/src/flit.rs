@@ -1,0 +1,127 @@
+use crate::{Cycles, NodeId};
+
+/// Unique identifier of a packet within one simulation.
+pub type PacketId = u64;
+
+/// The role of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlitKind {
+    /// First flit; carries routing information.
+    Head,
+    /// Interior flit.
+    Body,
+    /// Last flit; releases the wormhole path.
+    Tail,
+}
+
+/// A flow-control unit: the fixed-size segment of a packet that moves
+/// through the network one buffer slot and one link slot at a time.
+///
+/// Every flit carries its packet's identity and timing so the simulator can
+/// account latency without a side table (5 flits per packet makes the
+/// duplication cheap, and it keeps flits `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Packet this flit belongs to.
+    pub packet: PacketId,
+    /// Position within the packet.
+    pub kind: FlitKind,
+    /// Sequence number within the packet (head = 0).
+    pub seq: u8,
+    /// Injecting node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dest: NodeId,
+    /// Cycle the packet was created (start of source queuing).
+    pub created_at: Cycles,
+}
+
+impl Flit {
+    /// Whether this is the head flit.
+    pub fn is_head(&self) -> bool {
+        self.kind == FlitKind::Head
+    }
+
+    /// Whether this is the tail flit.
+    pub fn is_tail(&self) -> bool {
+        self.kind == FlitKind::Tail
+    }
+}
+
+/// Build the `len` flits of one packet, head first.
+///
+/// A single-flit packet gets a lone `Tail` flit that also acts as the head
+/// (the router treats the *first* flit of a packet as routable regardless).
+///
+/// # Panics
+///
+/// Panics if `len == 0` or `len > 255`.
+pub fn make_packet(
+    packet: PacketId,
+    src: NodeId,
+    dest: NodeId,
+    created_at: Cycles,
+    len: usize,
+) -> Vec<Flit> {
+    assert!(len > 0 && len <= 255, "packet length must be in 1..=255");
+    (0..len)
+        .map(|i| Flit {
+            packet,
+            kind: if i == 0 && len > 1 {
+                FlitKind::Head
+            } else if i + 1 == len {
+                FlitKind::Tail
+            } else {
+                FlitKind::Body
+            },
+            seq: i as u8,
+            src,
+            dest,
+            created_at,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_flit_packet_layout() {
+        let flits = make_packet(7, 1, 2, 100, 5);
+        assert_eq!(flits.len(), 5);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert!(flits[0].is_head());
+        assert_eq!(flits[1].kind, FlitKind::Body);
+        assert_eq!(flits[2].kind, FlitKind::Body);
+        assert_eq!(flits[3].kind, FlitKind::Body);
+        assert_eq!(flits[4].kind, FlitKind::Tail);
+        assert!(flits[4].is_tail());
+        for (i, f) in flits.iter().enumerate() {
+            assert_eq!(f.seq as usize, i);
+            assert_eq!(f.packet, 7);
+            assert_eq!((f.src, f.dest, f.created_at), (1, 2, 100));
+        }
+    }
+
+    #[test]
+    fn single_flit_packet_is_tail() {
+        let flits = make_packet(1, 0, 1, 0, 1);
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::Tail);
+        assert_eq!(flits[0].seq, 0);
+    }
+
+    #[test]
+    fn two_flit_packet_is_head_and_tail() {
+        let flits = make_packet(1, 0, 1, 0, 2);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Tail);
+    }
+
+    #[test]
+    #[should_panic(expected = "packet length")]
+    fn zero_length_packet_panics() {
+        let _ = make_packet(1, 0, 1, 0, 0);
+    }
+}

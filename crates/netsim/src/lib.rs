@@ -1,0 +1,62 @@
+//! Flit-level interconnection-network simulator.
+//!
+//! This crate is the evaluation substrate of the HPCA 2003 link-DVS study:
+//! a cycle-accurate, flit-level simulator of k-ary n-cube networks built
+//! from pipelined virtual-channel routers with credit-based flow control,
+//! where every inter-router channel is a [`dvslink::DvsChannel`] running in
+//! its own clock domain.
+//!
+//! # Architecture
+//!
+//! - [`Topology`] describes a k-ary n-cube (mesh or torus) and the wiring of
+//!   router ports.
+//! - [`Router`](crate::router)s contain input ports with per-virtual-channel
+//!   FIFOs, a virtual-channel allocator, a two-stage separable switch
+//!   allocator, and output ports that serialize flits onto DVS channels at
+//!   the channel's *current* frequency via exact integer rate accumulators.
+//! - [`Network`] owns the routers, advances global time one router cycle at
+//!   a time, delivers flits and credits with one-cycle wire latency, and
+//!   invokes a per-output-port [`LinkPolicy`] at every history-window
+//!   boundary with the window's traffic measures.
+//! - [`NetStats`] aggregates packet latency (creation to tail ejection,
+//!   including source queuing), throughput, and network link power.
+//!
+//! The simulator is deterministic: no randomness is used internally, and all
+//! arbitration is round-robin.
+//!
+//! # Example
+//!
+//! ```
+//! use netsim::{Network, NetworkConfig};
+//!
+//! let mut net = Network::new(NetworkConfig::paper_8x8()).unwrap();
+//! net.inject(0, 63); // one packet from corner to corner
+//! for _ in 0..2_000 {
+//!     net.step();
+//! }
+//! assert_eq!(net.stats().packets_delivered(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flit;
+mod network;
+mod policy;
+mod probe;
+mod router;
+mod routing;
+mod snapshot;
+mod stats;
+mod topology;
+
+pub use dvslink::Cycles;
+pub use flit::{Flit, FlitKind, PacketId};
+pub use network::{Network, NetworkConfig, NetworkError};
+pub use policy::{LinkPolicy, StaticLevelPolicy, WindowMeasures};
+pub use probe::{ChannelProbe, ProbeSample};
+pub use router::{ActivityCounters, InputPortStats, OutputPortStats};
+pub use routing::Routing;
+pub use snapshot::{ChannelState, NetworkSnapshot};
+pub use stats::{LatencyStats, NetStats};
+pub use topology::{Direction, NodeId, PortId, Topology, TopologyError, LOCAL_PORT};

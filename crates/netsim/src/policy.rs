@@ -1,0 +1,169 @@
+use crate::Cycles;
+use dvslink::DvsChannel;
+
+/// Traffic measures gathered at one output port over one history window.
+///
+/// These are exactly the quantities the paper's policy hardware can observe
+/// locally: how many flits the link relayed, how many link-clock slots were
+/// available, and the occupancy of the *downstream* router's input buffers
+/// as tracked by credit-based flow control.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowMeasures {
+    /// Router cycles in the window.
+    pub window_cycles: u64,
+    /// Flits sent over the link during the window.
+    pub flits_sent: u64,
+    /// Link-clock slots available while the link was operational.
+    pub link_slots: u64,
+    /// Sum over router cycles of occupied downstream buffer slots
+    /// (capacity minus outstanding credits).
+    pub buf_occupancy_sum: u64,
+    /// Total downstream input-buffer capacity in flits.
+    pub buf_capacity: u32,
+    /// Cycle at which the window closed.
+    pub now: Cycles,
+}
+
+impl WindowMeasures {
+    /// Link utilization `LU` (paper Eq. 2): flits relayed over link-clock
+    /// slots available. In `[0, 1]`; `0` when no slot was available.
+    pub fn link_utilization(&self) -> f64 {
+        if self.link_slots == 0 {
+            0.0
+        } else {
+            self.flits_sent as f64 / self.link_slots as f64
+        }
+    }
+
+    /// Input-buffer utilization `BU` (paper Eq. 3): mean downstream buffer
+    /// occupancy over the window, normalized by capacity. In `[0, 1]`.
+    pub fn buffer_utilization(&self) -> f64 {
+        if self.window_cycles == 0 || self.buf_capacity == 0 {
+            0.0
+        } else {
+            self.buf_occupancy_sum as f64
+                / (self.window_cycles as f64 * f64::from(self.buf_capacity))
+        }
+    }
+}
+
+/// A per-output-port policy controlling one DVS channel.
+///
+/// The network calls [`on_window`](Self::on_window) every
+/// [`window_cycles`](Self::window_cycles) router cycles with that window's
+/// [`WindowMeasures`]; the policy may then request level transitions on the
+/// channel. Implementations live in the `dvspolicy` crate; the simulator
+/// only defines the interface (plus the trivial [`StaticLevelPolicy`]).
+pub trait LinkPolicy {
+    /// History window length `H` in router cycles.
+    fn window_cycles(&self) -> u64;
+
+    /// Observe one window's measures and optionally adjust the channel.
+    fn on_window(&mut self, measures: &WindowMeasures, channel: &mut DvsChannel);
+}
+
+/// A policy that never changes the channel level — the paper's non-DVS
+/// baseline when the channel starts at the top level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticLevelPolicy {
+    window: u64,
+}
+
+impl StaticLevelPolicy {
+    /// Create a static policy that still reports measures every `window`
+    /// cycles (useful for probing a non-DVS network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "history window must be positive");
+        Self { window }
+    }
+}
+
+impl Default for StaticLevelPolicy {
+    fn default() -> Self {
+        Self::new(200)
+    }
+}
+
+impl LinkPolicy for StaticLevelPolicy {
+    fn window_cycles(&self) -> u64 {
+        self.window
+    }
+
+    fn on_window(&mut self, _measures: &WindowMeasures, _channel: &mut DvsChannel) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_utilization_bounds() {
+        let m = WindowMeasures {
+            window_cycles: 200,
+            flits_sent: 25,
+            link_slots: 50,
+            buf_occupancy_sum: 0,
+            buf_capacity: 128,
+            now: 200,
+        };
+        assert!((m.link_utilization() - 0.5).abs() < 1e-12);
+        let idle = WindowMeasures {
+            flits_sent: 0,
+            link_slots: 0,
+            ..m
+        };
+        assert_eq!(idle.link_utilization(), 0.0);
+    }
+
+    #[test]
+    fn buffer_utilization_normalizes_by_capacity_and_time() {
+        let m = WindowMeasures {
+            window_cycles: 100,
+            flits_sent: 0,
+            link_slots: 0,
+            buf_occupancy_sum: 64 * 100,
+            buf_capacity: 128,
+            now: 100,
+        };
+        assert!((m.buffer_utilization() - 0.5).abs() < 1e-12);
+        let empty = WindowMeasures {
+            window_cycles: 0,
+            ..m
+        };
+        assert_eq!(empty.buffer_utilization(), 0.0);
+    }
+
+    #[test]
+    fn static_policy_never_touches_channel() {
+        use dvslink::{RegulatorParams, TransitionTiming, VfTable};
+        let mut ch = DvsChannel::new(
+            VfTable::paper(),
+            TransitionTiming::paper_conservative(),
+            RegulatorParams::paper(),
+            9,
+        );
+        let mut p = StaticLevelPolicy::default();
+        assert_eq!(p.window_cycles(), 200);
+        let m = WindowMeasures {
+            window_cycles: 200,
+            flits_sent: 0,
+            link_slots: 200,
+            buf_occupancy_sum: 0,
+            buf_capacity: 128,
+            now: 200,
+        };
+        p.on_window(&m, &mut ch);
+        assert_eq!(ch.level(), 9);
+        assert!(ch.is_stable());
+    }
+
+    #[test]
+    #[should_panic(expected = "history window")]
+    fn zero_window_panics() {
+        let _ = StaticLevelPolicy::new(0);
+    }
+}

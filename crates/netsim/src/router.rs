@@ -1,0 +1,704 @@
+use std::collections::VecDeque;
+
+use dvslink::DvsChannel;
+
+use crate::policy::{LinkPolicy, WindowMeasures};
+use crate::{Cycles, Flit, NodeId, PortId, Routing, Topology, LOCAL_PORT};
+
+/// A flit on a wire, due to arrive at a router input buffer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlitWire {
+    pub arrival: Cycles,
+    pub router: NodeId,
+    pub in_port: PortId,
+    pub vc: usize,
+    pub flit: Flit,
+}
+
+/// A credit on a wire, due back at an upstream output port.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CreditWire {
+    pub arrival: Cycles,
+    pub router: NodeId,
+    pub out_port: PortId,
+    pub vc: usize,
+}
+
+/// A packet that finished ejecting (tail flit left the network).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Delivery {
+    pub flit: Flit,
+    pub ejected_at: Cycles,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VcState {
+    /// No packet owns this VC.
+    Idle,
+    /// Head routed; waiting for an output VC.
+    Waiting { out_port: PortId, on_dor_path: bool },
+    /// Output VC allocated; flits may traverse.
+    Active { out_port: PortId, out_vc: usize },
+}
+
+#[derive(Debug)]
+struct VirtualChannel {
+    fifo: VecDeque<(Flit, Cycles)>,
+    cap: usize,
+    state: VcState,
+}
+
+impl VirtualChannel {
+    fn new(cap: usize) -> Self {
+        Self {
+            fifo: VecDeque::with_capacity(cap),
+            cap,
+            state: VcState::Idle,
+        }
+    }
+
+    fn has_space(&self) -> bool {
+        self.fifo.len() < self.cap
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct InputPort {
+    vcs: Vec<VirtualChannel>,
+    /// Cumulative sum of (departure − arrival) over all departed flits.
+    pub(crate) cum_age_sum: u64,
+    /// Cumulative departed-flit count.
+    pub(crate) cum_departures: u64,
+    /// Cumulative sum over cycles of occupied slots (for probes).
+    pub(crate) cum_occupancy_sum: u64,
+}
+
+impl InputPort {
+    fn new(vcs: usize, cap_per_vc: usize) -> Self {
+        Self {
+            vcs: (0..vcs).map(|_| VirtualChannel::new(cap_per_vc)).collect(),
+            cum_age_sum: 0,
+            cum_departures: 0,
+            cum_occupancy_sum: 0,
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.vcs.iter().map(|v| v.fifo.len()).sum()
+    }
+}
+
+/// Cumulative counts of router micro-operations, for the router-core
+/// activity analysis the paper uses to argue router power barely changes
+/// with DVS (§4.2: a flit staying longer "can potentially trigger more
+/// arbitrations" but "does not increase buffer read/write power, nor
+/// crossbar power").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityCounters {
+    /// Flits written into input buffers (wire arrivals + injections).
+    pub buffer_writes: u64,
+    /// Flits read out of input buffers (switch-allocation grants).
+    pub buffer_reads: u64,
+    /// Flits moved through the crossbar to an output (excludes ejection).
+    pub crossbar_traversals: u64,
+    /// Switch-allocator input nominations considered.
+    pub sa_arbitrations: u64,
+    /// Virtual-channel-allocator requests considered.
+    pub va_arbitrations: u64,
+}
+
+impl ActivityCounters {
+    fn add(&mut self, other: &ActivityCounters) {
+        self.buffer_writes += other.buffer_writes;
+        self.buffer_reads += other.buffer_reads;
+        self.crossbar_traversals += other.crossbar_traversals;
+        self.sa_arbitrations += other.sa_arbitrations;
+        self.va_arbitrations += other.va_arbitrations;
+    }
+
+    /// Sum a collection of counters.
+    pub fn total<'a>(counters: impl IntoIterator<Item = &'a ActivityCounters>) -> ActivityCounters {
+        let mut out = ActivityCounters::default();
+        for c in counters {
+            out.add(c);
+        }
+        out
+    }
+}
+
+/// Read-only snapshot of one input port, for probes and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputPortStats {
+    /// Flits currently buffered across all VCs.
+    pub occupancy: usize,
+    /// Total buffer capacity in flits.
+    pub capacity: usize,
+    /// Cumulative sum of flit residence times (cycles).
+    pub cum_age_sum: u64,
+    /// Cumulative count of flits that left this port's buffers.
+    pub cum_departures: u64,
+    /// Cumulative per-cycle occupancy sum.
+    pub cum_occupancy_sum: u64,
+}
+
+pub(crate) struct OutputPort {
+    pub(crate) channel: DvsChannel,
+    pub(crate) policy: Box<dyn LinkPolicy>,
+    next_window: Cycles,
+    /// Cached `channel.busy_until()` (or `MAX` when stable) so the hot loop
+    /// can skip `advance` entirely until a phase boundary is due.
+    next_transition: Cycles,
+    /// Serialization accumulator in freq_x9 units; a link slot opens when it
+    /// reaches 9000 (one router-clock's worth of the maximum link rate).
+    acc: u32,
+    staging: VecDeque<(Cycles, usize, Flit)>,
+    staging_cap: usize,
+    credits: Vec<u32>,
+    vc_holder: Vec<Option<(PortId, usize)>>,
+    sa_rr: usize,
+    va_rr: usize,
+    pub(crate) downstream: (NodeId, PortId),
+    buf_capacity_total: u32,
+    // Cumulative counters; policy windows and probes take deltas.
+    pub(crate) cum_flits: u64,
+    pub(crate) cum_slots: u64,
+    pub(crate) cum_occ_sum: u64,
+    snap_flits: u64,
+    snap_slots: u64,
+    snap_occ_sum: u64,
+    snap_cycle: Cycles,
+}
+
+impl std::fmt::Debug for OutputPort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutputPort")
+            .field("level", &self.channel.level())
+            .field("credits", &self.credits)
+            .field("staged", &self.staging.len())
+            .field("cum_flits", &self.cum_flits)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Read-only snapshot of one output port and its channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutputPortStats {
+    /// Current channel level (frequency index).
+    pub level: usize,
+    /// Whether the channel can transmit right now.
+    pub operational: bool,
+    /// Instantaneous channel power in watts.
+    pub power_w: f64,
+    /// Cumulative flits sent over the link.
+    pub cum_flits: u64,
+    /// Cumulative link-clock slots that were available.
+    pub cum_slots: u64,
+    /// Cumulative per-cycle downstream occupancy sum.
+    pub cum_occ_sum: u64,
+    /// Outstanding credits summed over VCs.
+    pub credits: u32,
+    /// Total downstream buffer capacity.
+    pub buf_capacity: u32,
+}
+
+pub(crate) struct Router {
+    pub(crate) id: NodeId,
+    pub(crate) inputs: Vec<InputPort>,
+    pub(crate) outputs: Vec<Option<OutputPort>>,
+    pub(crate) source_queue: VecDeque<Flit>,
+    inj_vc: Option<usize>,
+    sa_in_rr: Vec<usize>,
+    routing: Routing,
+    pipeline_extra: Cycles,
+    /// Flits currently in input buffers (kept incrementally so idle routers
+    /// can skip allocation entirely).
+    buffered: usize,
+    // Per-cycle scratch buffers, kept here to avoid re-allocating in the
+    // allocation hot path.
+    sa_requests: Vec<Option<(usize, PortId, usize)>>,
+    sa_grants: Vec<(PortId, usize)>,
+    va_requests: Vec<(PortId, usize, PortId, bool)>,
+    pub(crate) activity: ActivityCounters,
+}
+
+pub(crate) struct RouterParams {
+    pub vcs: usize,
+    pub buf_per_port: usize,
+    pub staging_cap: usize,
+    pub routing: Routing,
+    pub pipeline_extra: Cycles,
+}
+
+impl Router {
+    pub(crate) fn new(
+        id: NodeId,
+        topo: &Topology,
+        params: &RouterParams,
+        mut make_channel: impl FnMut(NodeId, PortId) -> (DvsChannel, Box<dyn LinkPolicy>),
+    ) -> Self {
+        let ports = topo.ports_per_router();
+        let cap_per_vc = params.buf_per_port / params.vcs;
+        let inputs = (0..ports)
+            .map(|_| InputPort::new(params.vcs, cap_per_vc))
+            .collect();
+        let outputs = (0..ports)
+            .map(|p| {
+                if p == LOCAL_PORT {
+                    return None;
+                }
+                let downstream = topo.downstream(id, p)?;
+                let (channel, policy) = make_channel(id, p);
+                // Stagger window phases across ports: synchronized windows
+                // would align every channel's transitions (and their
+                // link-disabled lock intervals) network-wide, a measurement
+                // artifact no physical network would show.
+                let h = policy.window_cycles();
+                let next_window = h + (id as u64 * 31 + p as u64 * 7) % h;
+                Some(OutputPort {
+                    channel,
+                    policy,
+                    next_window,
+                    next_transition: Cycles::MAX,
+                    acc: 0,
+                    staging: VecDeque::with_capacity(params.staging_cap),
+                    staging_cap: params.staging_cap,
+                    credits: vec![cap_per_vc as u32; params.vcs],
+                    vc_holder: vec![None; params.vcs],
+                    sa_rr: 0,
+                    va_rr: 0,
+                    downstream,
+                    buf_capacity_total: (cap_per_vc * params.vcs) as u32,
+                    cum_flits: 0,
+                    cum_slots: 0,
+                    cum_occ_sum: 0,
+                    snap_flits: 0,
+                    snap_slots: 0,
+                    snap_occ_sum: 0,
+                    snap_cycle: 0,
+                })
+            })
+            .collect();
+        Self {
+            id,
+            inputs,
+            outputs,
+            source_queue: VecDeque::new(),
+            inj_vc: None,
+            sa_in_rr: vec![0; ports],
+            routing: params.routing,
+            pipeline_extra: params.pipeline_extra,
+            buffered: 0,
+            sa_requests: vec![None; ports],
+            sa_grants: Vec::with_capacity(ports),
+            va_requests: Vec::with_capacity(ports * params.vcs),
+            activity: ActivityCounters::default(),
+        }
+    }
+
+    /// Deliver a flit arriving from an upstream link (or fail loudly if the
+    /// upstream credit accounting ever let a flit through without space).
+    pub(crate) fn receive_flit(&mut self, in_port: PortId, vc: usize, flit: Flit, now: Cycles) {
+        let ch = &mut self.inputs[in_port].vcs[vc];
+        debug_assert!(
+            ch.has_space(),
+            "credit protocol violated: router {} port {in_port} vc {vc} overflow",
+            self.id
+        );
+        ch.fifo.push_back((flit, now));
+        self.buffered += 1;
+        self.activity.buffer_writes += 1;
+    }
+
+    pub(crate) fn receive_credit(&mut self, out_port: PortId, vc: usize) {
+        let out = self.outputs[out_port]
+            .as_mut()
+            .expect("credit arrived for a non-existent output port");
+        out.credits[vc] += 1;
+    }
+
+    /// Move up to one flit per cycle from the source queue into the local
+    /// input port (injection bandwidth = one flit/cycle, matching the
+    /// channel bandwidth).
+    pub(crate) fn inject_from_source(&mut self, now: Cycles) {
+        let Some(&front) = self.source_queue.front() else {
+            return;
+        };
+        let local = &mut self.inputs[LOCAL_PORT];
+        let vc = match self.inj_vc {
+            Some(vc) => vc,
+            None => {
+                // New packet: put it in the local VC with the most room.
+                let Some((vc, _)) = local
+                    .vcs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.has_space())
+                    .max_by_key(|(_, v)| v.cap - v.fifo.len())
+                else {
+                    return;
+                };
+                vc
+            }
+        };
+        if !local.vcs[vc].has_space() {
+            return; // stall; source queuing time keeps accruing
+        }
+        local.vcs[vc].fifo.push_back((front, now));
+        self.buffered += 1;
+        self.activity.buffer_writes += 1;
+        self.source_queue.pop_front();
+        self.inj_vc = if front.is_tail() { None } else { Some(vc) };
+    }
+
+    /// Close any history windows that end at `now`, invoking the policies.
+    fn close_windows(&mut self, now: Cycles) {
+        for out in self.outputs.iter_mut().flatten() {
+            if now >= out.next_window {
+                let measures = WindowMeasures {
+                    window_cycles: now - out.snap_cycle,
+                    flits_sent: out.cum_flits - out.snap_flits,
+                    link_slots: out.cum_slots - out.snap_slots,
+                    buf_occupancy_sum: out.cum_occ_sum - out.snap_occ_sum,
+                    buf_capacity: out.buf_capacity_total,
+                    now,
+                };
+                out.channel.advance(now);
+                out.policy.on_window(&measures, &mut out.channel);
+                out.next_transition = out.channel.busy_until().unwrap_or(Cycles::MAX);
+                out.snap_flits = out.cum_flits;
+                out.snap_slots = out.cum_slots;
+                out.snap_occ_sum = out.cum_occ_sum;
+                out.snap_cycle = now;
+                out.next_window = now + out.policy.window_cycles();
+            }
+        }
+    }
+
+    /// One router cycle: close due history windows, run allocation (switch,
+    /// then VC), and transmit on the links. Routers only interact through
+    /// next-cycle wires, so the network can run each router's full cycle
+    /// back-to-back.
+    pub(crate) fn cycle(
+        &mut self,
+        topo: &Topology,
+        now: Cycles,
+        credit_wires: &mut Vec<CreditWire>,
+        flit_wires: &mut Vec<FlitWire>,
+        deliveries: &mut Vec<Delivery>,
+    ) {
+        if now > 0 {
+            self.close_windows(now);
+        }
+        if self.buffered > 0 {
+            self.switch_allocation(topo, now, credit_wires, deliveries);
+            self.vc_allocation(topo);
+        }
+        self.link_phase(now, flit_wires);
+    }
+
+    fn switch_allocation(
+        &mut self,
+        topo: &Topology,
+        now: Cycles,
+        credit_wires: &mut Vec<CreditWire>,
+        deliveries: &mut Vec<Delivery>,
+    ) {
+        let ports = self.inputs.len();
+        let vcs = self.inputs[0].vcs.len();
+        // Stage 1: each input port nominates one VC (round-robin).
+        // sa_requests[p] = (vc, out_port, out_vc)
+        self.sa_requests.iter_mut().for_each(|r| *r = None);
+        for p in 0..ports {
+            let start = self.sa_in_rr[p];
+            for i in 0..vcs {
+                let vc = (start + i) % vcs;
+                let chan = &self.inputs[p].vcs[vc];
+                let VcState::Active { out_port, out_vc } = chan.state else {
+                    continue;
+                };
+                if chan.fifo.is_empty() {
+                    continue;
+                }
+                if out_port != LOCAL_PORT {
+                    let out = self.outputs[out_port]
+                        .as_ref()
+                        .expect("active VC routes to real port");
+                    if out.credits[out_vc] == 0 || out.staging.len() >= out.staging_cap {
+                        continue;
+                    }
+                }
+                self.sa_requests[p] = Some((vc, out_port, out_vc));
+                self.activity.sa_arbitrations += 1;
+                break;
+            }
+        }
+        // Stage 2: each output port grants one input port (round-robin);
+        // the local ejection port grants everyone (immediate ejection).
+        self.sa_grants.clear();
+        for out_port in 0..ports {
+            if out_port == LOCAL_PORT {
+                continue;
+            }
+            let requests = &self.sa_requests;
+            let Some(out) = self.outputs[out_port].as_mut() else {
+                continue;
+            };
+            let start = out.sa_rr;
+            for i in 0..ports {
+                let p = (start + i) % ports;
+                if let Some((vc, rp, _)) = requests[p] {
+                    if rp == out_port {
+                        self.sa_grants.push((p, vc));
+                        out.sa_rr = (p + 1) % ports;
+                        break;
+                    }
+                }
+            }
+        }
+        for (p, req) in self.sa_requests.iter().enumerate() {
+            if let Some((vc, rp, _)) = req {
+                if *rp == LOCAL_PORT {
+                    self.sa_grants.push((p, *vc));
+                }
+            }
+        }
+
+        for g in 0..self.sa_grants.len() {
+            let (in_port, in_vc) = self.sa_grants[g];
+            let (out_port, out_vc) = match self.inputs[in_port].vcs[in_vc].state {
+                VcState::Active { out_port, out_vc } => (out_port, out_vc),
+                _ => unreachable!("granted VC must be active"),
+            };
+            let (flit, arrived) = self.inputs[in_port].vcs[in_vc]
+                .fifo
+                .pop_front()
+                .expect("granted VC has a flit");
+            self.buffered -= 1;
+            self.activity.buffer_reads += 1;
+            self.sa_in_rr[in_port] = (in_vc + 1) % vcs;
+            let input = &mut self.inputs[in_port];
+            input.cum_age_sum += now - arrived;
+            input.cum_departures += 1;
+            if flit.is_tail() {
+                input.vcs[in_vc].state = VcState::Idle;
+            }
+            // Return the freed buffer slot upstream (non-local inputs only).
+            if in_port != LOCAL_PORT {
+                // Input port p faces the direction the upstream router lies
+                // in, so following p as an output port reaches upstream; the
+                // matching "input port" there is its output port facing us.
+                if let Some((up_node, up_out)) = topo.downstream(self.id, in_port) {
+                    credit_wires.push(CreditWire {
+                        arrival: now + 1,
+                        router: up_node,
+                        out_port: up_out,
+                        vc: in_vc,
+                    });
+                }
+            }
+            if out_port == LOCAL_PORT {
+                deliveries.push(Delivery {
+                    flit,
+                    ejected_at: now,
+                });
+            } else {
+                let out = self.outputs[out_port].as_mut().expect("real output port");
+                out.credits[out_vc] -= 1;
+                if flit.is_tail() {
+                    out.vc_holder[out_vc] = None;
+                }
+                out.staging
+                    .push_back((now + self.pipeline_extra, out_vc, flit));
+                self.activity.crossbar_traversals += 1;
+            }
+        }
+    }
+
+    fn vc_allocation(&mut self, topo: &Topology) {
+        let ports = self.inputs.len();
+        let vcs = self.inputs[0].vcs.len();
+        // Route computation for idle VCs with a fresh packet at the front,
+        // then collect output-VC requests as (in_port, in_vc, out_port, on_dor).
+        self.va_requests.clear();
+        for p in 0..ports {
+            for vc in 0..vcs {
+                let front_dest = match self.inputs[p].vcs[vc].fifo.front() {
+                    Some((f, _)) => f.dest,
+                    None => continue,
+                };
+                let state = self.inputs[p].vcs[vc].state;
+                match state {
+                    VcState::Idle => {
+                        let (out_port, on_dor) = self.compute_route(topo, front_dest);
+                        self.inputs[p].vcs[vc].state = VcState::Waiting {
+                            out_port,
+                            on_dor_path: on_dor,
+                        };
+                        if out_port == LOCAL_PORT {
+                            // Ejection needs no output VC.
+                            self.inputs[p].vcs[vc].state = VcState::Active {
+                                out_port: LOCAL_PORT,
+                                out_vc: 0,
+                            };
+                        } else {
+                            self.va_requests.push((p, vc, out_port, on_dor));
+                        }
+                    }
+                    VcState::Waiting {
+                        out_port,
+                        on_dor_path,
+                    } => {
+                        self.va_requests.push((p, vc, out_port, on_dor_path));
+                    }
+                    VcState::Active { .. } => {}
+                }
+            }
+        }
+        self.activity.va_arbitrations += self.va_requests.len() as u64;
+        // Grant free output VCs, one requester at a time per output port.
+        // Requests are gathered in (in_port, in_vc) order; each output port
+        // starts from a rotating offset among its own requesters for
+        // fairness.
+        for out_port in 1..ports {
+            let requests = &self.va_requests;
+            let inputs = &mut self.inputs;
+            let Some(out) = self.outputs[out_port].as_mut() else {
+                continue;
+            };
+            let n_here = requests.iter().filter(|r| r.2 == out_port).count();
+            if n_here == 0 {
+                continue;
+            }
+            let skip = out.va_rr % n_here;
+            let mut granted_any = false;
+            for (in_port, in_vc, on_dor) in requests
+                .iter()
+                .filter(|r| r.2 == out_port)
+                .cycle()
+                .skip(skip)
+                .take(n_here)
+                .map(|r| (r.0, r.1, r.3))
+            {
+                // Escape VC 0 is reserved for the dimension-order path under
+                // adaptive routing (Duato-style deadlock freedom).
+                let first_vc = usize::from(self.routing == Routing::MinimalAdaptive && !on_dor);
+                let mut granted = false;
+                for out_vc in first_vc..vcs {
+                    if out.vc_holder[out_vc].is_none() {
+                        out.vc_holder[out_vc] = Some((in_port, in_vc));
+                        inputs[in_port].vcs[in_vc].state = VcState::Active { out_port, out_vc };
+                        granted = true;
+                        break;
+                    }
+                }
+                if granted {
+                    granted_any = true;
+                }
+            }
+            if granted_any {
+                out.va_rr = out.va_rr.wrapping_add(1);
+            }
+        }
+    }
+
+    fn compute_route(&self, topo: &Topology, dest: NodeId) -> (PortId, bool) {
+        if dest == self.id {
+            return (LOCAL_PORT, true);
+        }
+        let dor = Routing::dor_port(topo, self.id, dest);
+        match self.routing {
+            Routing::DimensionOrder => (dor, true),
+            Routing::MinimalAdaptive => {
+                let candidates = Routing::productive_ports(topo, self.id, dest);
+                // Choose the productive port with the most downstream room;
+                // prefer the dimension-order port on ties.
+                let best = candidates
+                    .iter()
+                    .copied()
+                    .max_by_key(|&p| {
+                        let room: u32 = self.outputs[p]
+                            .as_ref()
+                            .map(|o| o.credits.iter().sum())
+                            .unwrap_or(0);
+                        (room, usize::from(p == dor))
+                    })
+                    .unwrap_or(dor);
+                (best, best == dor)
+            }
+        }
+    }
+
+    /// Link phase: advance each channel, open link-clock slots via the rate
+    /// accumulator, and transmit ready staged flits downstream.
+    fn link_phase(&mut self, now: Cycles, flit_wires: &mut Vec<FlitWire>) {
+        for out in self.outputs.iter_mut().flatten() {
+            if now >= out.next_transition {
+                out.channel.advance(now);
+                out.next_transition = out.channel.busy_until().unwrap_or(Cycles::MAX);
+            }
+            if out.channel.is_operational() {
+                out.acc = out.acc.saturating_add(out.channel.freq_x9());
+                if out.acc >= 9000 {
+                    out.cum_slots += 1;
+                    let ready =
+                        matches!(out.staging.front(), Some(&(ready_at, _, _)) if ready_at <= now);
+                    if ready {
+                        let (_, vc, flit) = out.staging.pop_front().expect("front checked");
+                        out.cum_flits += 1;
+                        out.acc -= 9000;
+                        let (node, in_port) = out.downstream;
+                        flit_wires.push(FlitWire {
+                            arrival: now + 2, // one cycle wire + one cycle buffer write
+                            router: node,
+                            in_port,
+                            vc,
+                            flit,
+                        });
+                    } else {
+                        out.acc = 9000; // idle slots do not bank extra bandwidth
+                    }
+                }
+            }
+            let occupied = out.buf_capacity_total - out.credits.iter().sum::<u32>();
+            out.cum_occ_sum += u64::from(occupied);
+        }
+        if self.buffered > 0 {
+            for input in &mut self.inputs {
+                input.cum_occupancy_sum += input.occupancy() as u64;
+            }
+        }
+    }
+
+    pub(crate) fn input_stats(&self, port: PortId) -> InputPortStats {
+        let input = &self.inputs[port];
+        InputPortStats {
+            occupancy: input.occupancy(),
+            capacity: input.vcs.iter().map(|v| v.cap).sum(),
+            cum_age_sum: input.cum_age_sum,
+            cum_departures: input.cum_departures,
+            cum_occupancy_sum: input.cum_occupancy_sum,
+        }
+    }
+
+    pub(crate) fn output_stats(&self, port: PortId) -> Option<OutputPortStats> {
+        let out = self.outputs[port].as_ref()?;
+        Some(OutputPortStats {
+            level: out.channel.level(),
+            operational: out.channel.is_operational(),
+            power_w: out.channel.power_w(),
+            cum_flits: out.cum_flits,
+            cum_slots: out.cum_slots,
+            cum_occ_sum: out.cum_occ_sum,
+            credits: out.credits.iter().sum(),
+            buf_capacity: out.buf_capacity_total,
+        })
+    }
+
+    /// Total flits currently inside this router (buffers + staging),
+    /// excluding the source queue.
+    pub(crate) fn flits_in_flight(&self) -> usize {
+        let buffered: usize = self.inputs.iter().map(InputPort::occupancy).sum();
+        let staged: usize = self.outputs.iter().flatten().map(|o| o.staging.len()).sum();
+        buffered + staged
+    }
+}

@@ -1,0 +1,174 @@
+use crate::{Direction, NodeId, PortId, Topology, LOCAL_PORT};
+
+/// Routing algorithm selection.
+///
+/// Both algorithms are minimal. `DimensionOrder` (the paper's deterministic
+/// default) resolves dimensions in ascending order (X then Y on a 2-D mesh)
+/// and is deadlock-free on meshes with any number of virtual channels.
+/// `MinimalAdaptive` may choose any productive dimension; deadlock freedom
+/// comes from an escape virtual channel (VC 0) restricted to the
+/// dimension-order path, in the style of Duato's protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Routing {
+    /// Deterministic dimension-order (e-cube) routing.
+    #[default]
+    DimensionOrder,
+    /// Minimal adaptive routing with a dimension-order escape channel.
+    MinimalAdaptive,
+}
+
+impl Routing {
+    /// The dimension-order output port from `node` toward `dest`
+    /// ([`LOCAL_PORT`] when `node == dest`).
+    pub fn dor_port(topo: &Topology, node: NodeId, dest: NodeId) -> PortId {
+        for dim in 0..topo.dims() {
+            if let Some(p) = productive_port(topo, node, dest, dim) {
+                return p;
+            }
+        }
+        LOCAL_PORT
+    }
+
+    /// All productive (minimal) output ports from `node` toward `dest`.
+    ///
+    /// Returns an empty vector when `node == dest` (eject locally instead).
+    pub fn productive_ports(topo: &Topology, node: NodeId, dest: NodeId) -> Vec<PortId> {
+        (0..topo.dims())
+            .filter_map(|dim| productive_port(topo, node, dest, dim))
+            .collect()
+    }
+}
+
+/// The productive port along `dim`, or `None` if already aligned.
+fn productive_port(topo: &Topology, node: NodeId, dest: NodeId, dim: u32) -> Option<PortId> {
+    let c = topo.coord(node, dim);
+    let d = topo.coord(dest, dim);
+    if c == d {
+        return None;
+    }
+    let dir = if topo.is_torus() {
+        // Shortest way around the ring; ties go positive.
+        let k = topo.radix();
+        let fwd = (d + k - c) % k; // hops going positive
+        if fwd <= k - fwd {
+            Direction::Pos
+        } else {
+            Direction::Neg
+        }
+    } else if d > c {
+        Direction::Pos
+    } else {
+        Direction::Neg
+    };
+    Some(topo.port(dim, dir))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Topology {
+        Topology::mesh(8, 2).unwrap()
+    }
+
+    #[test]
+    fn dor_resolves_x_before_y() {
+        let t = mesh();
+        // From (0,0) to (3,5): first move along X (dim 0, positive).
+        let src = t.node_at(&[0, 0]);
+        let dst = t.node_at(&[3, 5]);
+        assert_eq!(Routing::dor_port(&t, src, dst), t.port(0, Direction::Pos));
+        // Once X is aligned, move along Y.
+        let mid = t.node_at(&[3, 0]);
+        assert_eq!(Routing::dor_port(&t, mid, dst), t.port(1, Direction::Pos));
+    }
+
+    #[test]
+    fn dor_at_destination_is_local() {
+        let t = mesh();
+        assert_eq!(Routing::dor_port(&t, 42, 42), LOCAL_PORT);
+    }
+
+    #[test]
+    fn dor_route_always_reaches_destination() {
+        let t = mesh();
+        for src in [0, 7, 56, 63, 27] {
+            for dst in t.nodes() {
+                let mut at = src;
+                let mut hops = 0;
+                while at != dst {
+                    let p = Routing::dor_port(&t, at, dst);
+                    assert_ne!(p, LOCAL_PORT);
+                    let (next, _) = t.downstream(at, p).expect("route must stay on mesh");
+                    at = next;
+                    hops += 1;
+                    assert!(hops <= 14, "route too long from {src} to {dst}");
+                }
+                assert_eq!(hops, t.distance(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn productive_ports_cover_all_useful_dims() {
+        let t = mesh();
+        let src = t.node_at(&[2, 2]);
+        let dst = t.node_at(&[5, 0]);
+        let ports = Routing::productive_ports(&t, src, dst);
+        assert_eq!(ports.len(), 2);
+        assert!(ports.contains(&t.port(0, Direction::Pos)));
+        assert!(ports.contains(&t.port(1, Direction::Neg)));
+        // Aligned in one dim: only the other remains.
+        let src2 = t.node_at(&[5, 2]);
+        assert_eq!(
+            Routing::productive_ports(&t, src2, dst),
+            vec![t.port(1, Direction::Neg)]
+        );
+        // At destination: none.
+        assert!(Routing::productive_ports(&t, dst, dst).is_empty());
+    }
+
+    #[test]
+    fn productive_ports_each_reduce_distance() {
+        let t = mesh();
+        for &src in &[0usize, 9, 36, 63] {
+            for dst in t.nodes() {
+                for p in Routing::productive_ports(&t, src, dst) {
+                    let (next, _) = t.downstream(src, p).unwrap();
+                    assert_eq!(t.distance(next, dst) + 1, t.distance(src, dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_routes_take_short_way_around() {
+        let t = Topology::torus(8, 2).unwrap();
+        let src = t.node_at(&[0, 0]);
+        let dst = t.node_at(&[7, 0]);
+        // One hop negative beats seven positive.
+        assert_eq!(Routing::dor_port(&t, src, dst), t.port(0, Direction::Neg));
+        // Distance 4 either way: tie goes positive.
+        let dst4 = t.node_at(&[4, 0]);
+        assert_eq!(Routing::dor_port(&t, src, dst4), t.port(0, Direction::Pos));
+    }
+
+    #[test]
+    fn torus_dor_reaches_destination() {
+        let t = Topology::torus(8, 2).unwrap();
+        for src in [0, 63, 28] {
+            for dst in t.nodes() {
+                let mut at = src;
+                let mut hops = 0;
+                while at != dst {
+                    let p = Routing::dor_port(&t, at, dst);
+                    let (next, _) = t.downstream(at, p).unwrap();
+                    at = next;
+                    hops += 1;
+                    assert!(hops <= 8, "route too long from {src} to {dst}");
+                }
+                assert_eq!(hops, t.distance(src, dst));
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+use crate::Cycles;
+
+/// Running latency aggregate (cycles from packet creation to tail ejection),
+/// with a power-of-two histogram for percentile estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    sum: u128,
+    count: u64,
+    min: Cycles,
+    max: Cycles,
+    /// `buckets[i]` counts latencies in `[2^i, 2^(i+1))` (bucket 0 holds 0
+    /// and 1).
+    buckets: [u64; 40],
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyStats {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self {
+            sum: 0,
+            count: 0,
+            min: Cycles::MAX,
+            max: 0,
+            buckets: [0; 40],
+        }
+    }
+
+    /// Record one packet latency.
+    pub fn record(&mut self, latency: Cycles) {
+        self.sum += u128::from(latency);
+        self.count += 1;
+        self.min = self.min.min(latency);
+        self.max = self.max.max(latency);
+        let bucket = (u64::BITS - latency.max(1).leading_zeros() - 1).min(39) as usize;
+        self.buckets[bucket] += 1;
+    }
+
+    /// Estimate the latency at quantile `q` in `[0, 1]` (geometric midpoint
+    /// of the histogram bucket containing it), or `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let lo = (1u64 << i) as f64;
+                return Some(lo * std::f64::consts::SQRT_2);
+            }
+        }
+        Some(self.max as f64)
+    }
+
+    /// Number of packets recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in cycles, or `None` if nothing was recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Smallest recorded latency, or `None` if empty.
+    pub fn min(&self) -> Option<Cycles> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded latency, or `None` if empty.
+    pub fn max(&self) -> Option<Cycles> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// Network-level counters over the current measurement interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetStats {
+    packets_injected: u64,
+    flits_injected: u64,
+    packets_delivered: u64,
+    flits_delivered: u64,
+    latency: LatencyStats,
+    measurement_start: Cycles,
+}
+
+impl NetStats {
+    pub(crate) fn new() -> Self {
+        Self {
+            latency: LatencyStats::new(),
+            ..Self::default()
+        }
+    }
+
+    pub(crate) fn on_inject(&mut self, flits: usize) {
+        self.packets_injected += 1;
+        self.flits_injected += flits as u64;
+    }
+
+    pub(crate) fn on_flit_delivered(&mut self) {
+        self.flits_delivered += 1;
+    }
+
+    pub(crate) fn on_packet_delivered(&mut self, latency: Cycles) {
+        self.packets_delivered += 1;
+        self.latency.record(latency);
+    }
+
+    pub(crate) fn reset(&mut self, now: Cycles) {
+        *self = Self::new();
+        self.measurement_start = now;
+    }
+
+    /// Packets injected (created) since the measurement started.
+    pub fn packets_injected(&self) -> u64 {
+        self.packets_injected
+    }
+
+    /// Flits injected since the measurement started.
+    pub fn flits_injected(&self) -> u64 {
+        self.flits_injected
+    }
+
+    /// Packets fully delivered (tail ejected) since the measurement started.
+    pub fn packets_delivered(&self) -> u64 {
+        self.packets_delivered
+    }
+
+    /// Flits ejected since the measurement started.
+    pub fn flits_delivered(&self) -> u64 {
+        self.flits_delivered
+    }
+
+    /// Latency aggregate over delivered packets.
+    pub fn latency(&self) -> &LatencyStats {
+        &self.latency
+    }
+
+    /// Cycle at which the current measurement interval began.
+    pub fn measurement_start(&self) -> Cycles {
+        self.measurement_start
+    }
+
+    /// Delivered-packet throughput in packets/cycle over the measurement
+    /// interval ending at `now`. Returns 0 for an empty interval.
+    pub fn throughput_packets_per_cycle(&self, now: Cycles) -> f64 {
+        let dt = now.saturating_sub(self.measurement_start);
+        if dt == 0 {
+            0.0
+        } else {
+            self.packets_delivered as f64 / dt as f64
+        }
+    }
+
+    /// Offered load actually accepted in packets/cycle (injected packets over
+    /// the interval).
+    pub fn injection_rate_packets_per_cycle(&self, now: Cycles) -> f64 {
+        let dt = now.saturating_sub(self.measurement_start);
+        if dt == 0 {
+            0.0
+        } else {
+            self.packets_injected as f64 / dt as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_aggregate() {
+        let mut l = LatencyStats::new();
+        assert_eq!(l.mean(), None);
+        assert_eq!(l.min(), None);
+        assert_eq!(l.max(), None);
+        assert_eq!(l.quantile(0.5), None);
+        l.record(10);
+        l.record(30);
+        assert_eq!(l.count(), 2);
+        assert_eq!(l.mean(), Some(20.0));
+        assert_eq!(l.min(), Some(10));
+        assert_eq!(l.max(), Some(30));
+    }
+
+    #[test]
+    fn quantiles_are_order_of_magnitude_accurate() {
+        let mut l = LatencyStats::new();
+        for _ in 0..900 {
+            l.record(100);
+        }
+        for _ in 0..100 {
+            l.record(100_000);
+        }
+        let p50 = l.quantile(0.5).unwrap();
+        assert!(p50 > 50.0 && p50 < 200.0, "p50 {p50}");
+        let p99 = l.quantile(0.99).unwrap();
+        assert!(p99 > 50_000.0 && p99 < 200_000.0, "p99 {p99}");
+        let p0 = l.quantile(0.0).unwrap();
+        assert!(p0 <= p50);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_panics() {
+        let _ = LatencyStats::new().quantile(1.5);
+    }
+
+    #[test]
+    fn net_stats_counts_and_throughput() {
+        let mut s = NetStats::new();
+        s.on_inject(5);
+        s.on_inject(5);
+        for _ in 0..5 {
+            s.on_flit_delivered();
+        }
+        s.on_packet_delivered(100);
+        assert_eq!(s.packets_injected(), 2);
+        assert_eq!(s.flits_injected(), 10);
+        assert_eq!(s.packets_delivered(), 1);
+        assert_eq!(s.flits_delivered(), 5);
+        assert!((s.throughput_packets_per_cycle(200) - 0.005).abs() < 1e-12);
+        assert!((s.injection_rate_packets_per_cycle(200) - 0.01).abs() < 1e-12);
+        assert_eq!(s.throughput_packets_per_cycle(0), 0.0);
+    }
+
+    #[test]
+    fn reset_rebases_measurement() {
+        let mut s = NetStats::new();
+        s.on_inject(5);
+        s.reset(500);
+        assert_eq!(s.packets_injected(), 0);
+        assert_eq!(s.measurement_start(), 500);
+        s.on_packet_delivered(42);
+        assert!((s.throughput_packets_per_cycle(1000) - 1.0 / 500.0).abs() < 1e-12);
+    }
+}

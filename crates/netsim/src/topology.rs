@@ -1,0 +1,409 @@
+use std::error::Error;
+use std::fmt;
+
+/// Index of a node (router) in the network, in `0..Topology::num_nodes()`.
+pub type NodeId = usize;
+
+/// Index of a router port. Port [`LOCAL_PORT`] (0) is the local
+/// injection/ejection port; port `1 + 2·d + dir` connects dimension `d` in
+/// direction `dir` (0 = positive, 1 = negative).
+pub type PortId = usize;
+
+/// The local injection/ejection port of every router.
+pub const LOCAL_PORT: PortId = 0;
+
+/// Direction along a dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Toward increasing coordinate.
+    Pos,
+    /// Toward decreasing coordinate.
+    Neg,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn opposite(self) -> Self {
+        match self {
+            Direction::Pos => Direction::Neg,
+            Direction::Neg => Direction::Pos,
+        }
+    }
+}
+
+/// Error constructing a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Radix must be at least 2.
+    RadixTooSmall,
+    /// Dimension count must be at least 1.
+    NoDimensions,
+    /// `radix^dims` overflows the node index space.
+    TooManyNodes,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::RadixTooSmall => write!(f, "radix must be at least 2"),
+            TopologyError::NoDimensions => write!(f, "dimension count must be at least 1"),
+            TopologyError::TooManyNodes => write!(f, "radix^dims exceeds the supported node count"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+/// A k-ary n-cube network topology: `dims` dimensions of radix `radix`,
+/// either a mesh (no wraparound) or a torus.
+///
+/// # Example
+///
+/// ```
+/// use netsim::{Direction, Topology};
+///
+/// let mesh = Topology::mesh(8, 2)?; // the paper's 8x8 mesh
+/// assert_eq!(mesh.num_nodes(), 64);
+/// assert_eq!(mesh.coord(10, 0), 2); // node 10 = (2, 1)
+/// assert_eq!(mesh.coord(10, 1), 1);
+/// assert_eq!(mesh.neighbor(0, 0, Direction::Neg), None); // mesh edge
+/// # Ok::<(), netsim::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    radix: u32,
+    dims: u32,
+    wrap: bool,
+    num_nodes: usize,
+}
+
+impl Topology {
+    /// A `radix`-ary `dims`-cube without wraparound links (mesh).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] for radix < 2, zero dimensions, or node
+    /// counts that overflow `usize`.
+    pub fn mesh(radix: u32, dims: u32) -> Result<Self, TopologyError> {
+        Self::new(radix, dims, false)
+    }
+
+    /// A `radix`-ary `dims`-cube with wraparound links (torus).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Topology::mesh`].
+    pub fn torus(radix: u32, dims: u32) -> Result<Self, TopologyError> {
+        Self::new(radix, dims, true)
+    }
+
+    fn new(radix: u32, dims: u32, wrap: bool) -> Result<Self, TopologyError> {
+        if radix < 2 {
+            return Err(TopologyError::RadixTooSmall);
+        }
+        if dims == 0 {
+            return Err(TopologyError::NoDimensions);
+        }
+        let mut num_nodes: usize = 1;
+        for _ in 0..dims {
+            num_nodes = num_nodes
+                .checked_mul(radix as usize)
+                .ok_or(TopologyError::TooManyNodes)?;
+        }
+        if num_nodes > u32::MAX as usize {
+            return Err(TopologyError::TooManyNodes);
+        }
+        Ok(Self {
+            radix,
+            dims,
+            wrap,
+            num_nodes,
+        })
+    }
+
+    /// Network radix `k`.
+    pub fn radix(&self) -> u32 {
+        self.radix
+    }
+
+    /// Dimension count `n`.
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    /// Whether wraparound links exist (torus).
+    pub fn is_torus(&self) -> bool {
+        self.wrap
+    }
+
+    /// Total number of nodes, `k^n`.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Ports per router: one local port plus two per dimension.
+    pub fn ports_per_router(&self) -> usize {
+        1 + 2 * self.dims as usize
+    }
+
+    /// The coordinate of `node` along dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `dim` is out of range (`debug_assert`ed; release
+    /// builds return a wrapped value for out-of-range nodes).
+    pub fn coord(&self, node: NodeId, dim: u32) -> u32 {
+        debug_assert!(node < self.num_nodes);
+        debug_assert!(dim < self.dims);
+        let mut v = node as u64;
+        for _ in 0..dim {
+            v /= u64::from(self.radix);
+        }
+        (v % u64::from(self.radix)) as u32
+    }
+
+    /// The node at the given coordinates (`coords.len()` must equal `dims`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate count or any coordinate is out of range.
+    pub fn node_at(&self, coords: &[u32]) -> NodeId {
+        assert_eq!(coords.len(), self.dims as usize, "wrong coordinate count");
+        let mut id: usize = 0;
+        for (d, &c) in coords.iter().enumerate().rev() {
+            assert!(c < self.radix, "coordinate {c} out of range in dim {d}");
+            id = id * self.radix as usize + c as usize;
+        }
+        id
+    }
+
+    /// The neighbor of `node` along `dim` in direction `dir`, or `None` at a
+    /// mesh boundary.
+    pub fn neighbor(&self, node: NodeId, dim: u32, dir: Direction) -> Option<NodeId> {
+        let c = self.coord(node, dim);
+        let stride = self.stride(dim);
+        match dir {
+            Direction::Pos => {
+                if c + 1 < self.radix {
+                    Some(node + stride)
+                } else if self.wrap {
+                    Some(node - stride * (self.radix as usize - 1))
+                } else {
+                    None
+                }
+            }
+            Direction::Neg => {
+                if c > 0 {
+                    Some(node - stride)
+                } else if self.wrap {
+                    Some(node + stride * (self.radix as usize - 1))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The port index connecting a router to its neighbor along `dim` in
+    /// direction `dir`.
+    pub fn port(&self, dim: u32, dir: Direction) -> PortId {
+        debug_assert!(dim < self.dims);
+        1 + 2 * dim as usize + usize::from(dir == Direction::Neg)
+    }
+
+    /// The `(dimension, direction)` of a non-local port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is [`LOCAL_PORT`] or out of range.
+    pub fn port_dim_dir(&self, port: PortId) -> (u32, Direction) {
+        assert!(
+            port != LOCAL_PORT && port < self.ports_per_router(),
+            "port {port} is not a network port"
+        );
+        let dim = ((port - 1) / 2) as u32;
+        let dir = if (port - 1) % 2 == 0 {
+            Direction::Pos
+        } else {
+            Direction::Neg
+        };
+        (dim, dir)
+    }
+
+    /// The input port on the *receiving* router for traffic leaving through
+    /// `out_port`: the port facing back along the same dimension.
+    pub fn opposite_port(&self, out_port: PortId) -> PortId {
+        let (dim, dir) = self.port_dim_dir(out_port);
+        self.port(dim, dir.opposite())
+    }
+
+    /// The downstream `(router, input port)` reached through `out_port` of
+    /// `node`, or `None` if the port faces a mesh boundary.
+    pub fn downstream(&self, node: NodeId, out_port: PortId) -> Option<(NodeId, PortId)> {
+        let (dim, dir) = self.port_dim_dir(out_port);
+        let next = self.neighbor(node, dim, dir)?;
+        Some((next, self.opposite_port(out_port)))
+    }
+
+    /// Minimal hop distance between two nodes.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        (0..self.dims)
+            .map(|d| {
+                let ca = self.coord(a, d);
+                let cb = self.coord(b, d);
+                let diff = ca.abs_diff(cb);
+                if self.wrap {
+                    diff.min(self.radix - diff)
+                } else {
+                    diff
+                }
+            })
+            .sum()
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.num_nodes
+    }
+
+    /// Number of *directed* inter-router channels in the network.
+    ///
+    /// Each neighboring pair contributes one channel per direction; a torus
+    /// adds the wraparound channels.
+    pub fn num_channels(&self) -> usize {
+        let k = self.radix as usize;
+        let per_dim_lines = self.num_nodes / k;
+        let per_line = if self.wrap { k } else { k - 1 };
+        // directed: x2
+        self.dims as usize * per_dim_lines * per_line * 2
+    }
+
+    fn stride(&self, dim: u32) -> usize {
+        let mut s = 1usize;
+        for _ in 0..dim {
+            s *= self.radix as usize;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_8x8_basics() {
+        let t = Topology::mesh(8, 2).unwrap();
+        assert_eq!(t.num_nodes(), 64);
+        assert_eq!(t.ports_per_router(), 5);
+        assert!(!t.is_torus());
+        assert_eq!(t.num_channels(), 224); // 2 dims * 8 lines * 7 hops * 2 dirs
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Topology::mesh(8, 2).unwrap();
+        for node in t.nodes() {
+            let c = [t.coord(node, 0), t.coord(node, 1)];
+            assert_eq!(t.node_at(&c), node);
+        }
+    }
+
+    #[test]
+    fn three_dim_coords_roundtrip() {
+        let t = Topology::torus(4, 3).unwrap();
+        assert_eq!(t.num_nodes(), 64);
+        for node in t.nodes() {
+            let c = [t.coord(node, 0), t.coord(node, 1), t.coord(node, 2)];
+            assert_eq!(t.node_at(&c), node);
+        }
+    }
+
+    #[test]
+    fn mesh_boundaries_have_no_neighbors() {
+        let t = Topology::mesh(8, 2).unwrap();
+        assert_eq!(t.neighbor(0, 0, Direction::Neg), None);
+        assert_eq!(t.neighbor(0, 1, Direction::Neg), None);
+        assert_eq!(t.neighbor(7, 0, Direction::Pos), None);
+        assert_eq!(t.neighbor(63, 0, Direction::Pos), None);
+        assert_eq!(t.neighbor(63, 1, Direction::Pos), None);
+        assert_eq!(t.neighbor(0, 0, Direction::Pos), Some(1));
+        assert_eq!(t.neighbor(0, 1, Direction::Pos), Some(8));
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let t = Topology::torus(8, 2).unwrap();
+        assert_eq!(t.neighbor(0, 0, Direction::Neg), Some(7));
+        assert_eq!(t.neighbor(7, 0, Direction::Pos), Some(0));
+        assert_eq!(t.neighbor(0, 1, Direction::Neg), Some(56));
+        assert_eq!(t.num_channels(), 256); // 2 * 8 * 8 * 2
+    }
+
+    #[test]
+    fn ports_map_one_to_one() {
+        let t = Topology::mesh(8, 2).unwrap();
+        let mut seen = vec![false; t.ports_per_router()];
+        seen[LOCAL_PORT] = true;
+        for d in 0..2 {
+            for dir in [Direction::Pos, Direction::Neg] {
+                let p = t.port(d, dir);
+                assert!(!seen[p], "port {p} assigned twice");
+                seen[p] = true;
+                assert_eq!(t.port_dim_dir(p), (d, dir));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn opposite_port_faces_back() {
+        let t = Topology::mesh(8, 2).unwrap();
+        for p in 1..t.ports_per_router() {
+            let opp = t.opposite_port(p);
+            assert_ne!(opp, p);
+            assert_eq!(t.opposite_port(opp), p);
+        }
+    }
+
+    #[test]
+    fn downstream_wiring_is_symmetric() {
+        let t = Topology::mesh(8, 2).unwrap();
+        for node in t.nodes() {
+            for p in 1..t.ports_per_router() {
+                if let Some((next, in_port)) = t.downstream(node, p) {
+                    // Traffic back from `next` through the matching output
+                    // port must land on `node`.
+                    let back_out = in_port; // output port index mirrors input
+                    let (back_node, back_in) = t.downstream(next, back_out).unwrap();
+                    assert_eq!(back_node, node);
+                    assert_eq!(back_in, p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_mesh_vs_torus() {
+        let mesh = Topology::mesh(8, 2).unwrap();
+        let torus = Topology::torus(8, 2).unwrap();
+        // (0,0) to (7,7)
+        assert_eq!(mesh.distance(0, 63), 14);
+        assert_eq!(torus.distance(0, 63), 2);
+        assert_eq!(mesh.distance(5, 5), 0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert_eq!(Topology::mesh(1, 2), Err(TopologyError::RadixTooSmall));
+        assert_eq!(Topology::mesh(8, 0), Err(TopologyError::NoDimensions));
+        assert_eq!(Topology::mesh(2, 64), Err(TopologyError::TooManyNodes));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a network port")]
+    fn local_port_has_no_dim() {
+        let t = Topology::mesh(8, 2).unwrap();
+        let _ = t.port_dim_dir(LOCAL_PORT);
+    }
+}

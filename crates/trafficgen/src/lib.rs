@@ -1,0 +1,67 @@
+//! Two-level self-similar workload generation for interconnection networks.
+//!
+//! Reproduces the traffic model of the HPCA 2003 link-DVS paper (§4.3):
+//!
+//! 1. **Task level** — concurrent communication task sessions arrive as a
+//!    Poisson process, are placed on random source nodes, pick destinations
+//!    by a *sphere of locality* (nearby nodes are preferred), and last for a
+//!    uniformly distributed duration.
+//! 2. **Packet level** — within each session, packet injections are
+//!    self-similar: the superposition of many ON/OFF sources whose ON and
+//!    OFF period lengths are Pareto-distributed with the shapes Leland et
+//!    al. measured on real Ethernet traffic (1.4 ON / 1.2 OFF).
+//!
+//! The crate also provides the classic short-range-dependent baselines the
+//! paper contrasts against (uniform random and permutation traffic) and
+//! Hurst-exponent estimators (rescaled-range and variance–time) to verify
+//! that generated traces really are long-range dependent.
+//!
+//! All generators implement [`Workload`]: a network driver calls
+//! [`Workload::poll`] once per router cycle and receives the
+//! `(source, destination)` pairs of the packets created that cycle.
+//!
+//! # Example
+//!
+//! ```
+//! use netsim::Topology;
+//! use trafficgen::{TaskModelConfig, TaskWorkload, Workload};
+//!
+//! let topo = Topology::mesh(8, 2)?;
+//! let cfg = TaskModelConfig::paper_100_tasks();
+//! let mut wl = TaskWorkload::new(cfg, &topo, 0.5, 42); // 0.5 packets/cycle
+//! let mut count = 0;
+//! for now in 0..10_000 {
+//!     wl.poll(now, &mut |_src, _dest| count += 1);
+//! }
+//! assert!(count > 0);
+//! # Ok::<(), netsim::TopologyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hurst;
+mod onoff;
+mod pareto;
+mod patterns;
+pub mod stats;
+mod tasks;
+mod trace;
+
+pub use hurst::{rs_hurst, variance_time_hurst};
+pub use netsim::Cycles;
+pub use onoff::{OnOffParams, SelfSimilarSource};
+pub use pareto::Pareto;
+pub use patterns::{HotspotWorkload, Permutation, PermutationWorkload, UniformRandomWorkload};
+pub use tasks::{TaskModelConfig, TaskWorkload};
+pub use trace::{Trace, TraceEntry, TraceWorkload};
+
+use netsim::NodeId;
+
+/// A packet-injection process driven one router cycle at a time.
+pub trait Workload {
+    /// Emit every packet created at cycle `now` through `sink(src, dest)`.
+    ///
+    /// Implementations must be called with strictly increasing `now`.
+    fn poll(&mut self, now: Cycles, sink: &mut dyn FnMut(NodeId, NodeId));
+}

@@ -1,0 +1,310 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Cycles, Pareto};
+
+/// Parameters of the Pareto ON/OFF periods that make aggregate traffic
+/// self-similar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnOffParams {
+    /// Pareto shape of ON period lengths (paper: 1.4).
+    pub shape_on: f64,
+    /// Pareto shape of OFF period lengths (paper: 1.2).
+    pub shape_off: f64,
+    /// Pareto location (minimum) of ON periods, in cycles.
+    pub scale_on: f64,
+    /// Pareto location (minimum) of OFF periods, in cycles.
+    pub scale_off: f64,
+}
+
+impl OnOffParams {
+    /// The paper's shapes (from Leland et al.'s Ethernet measurements) with
+    /// period scales sized so a task-level source emits a handful of packets
+    /// per ON burst at typical per-task rates.
+    pub fn paper() -> Self {
+        Self {
+            shape_on: 1.4,
+            shape_off: 1.2,
+            scale_on: 1_000.0,
+            scale_off: 3_000.0,
+        }
+    }
+
+    /// Expected fraction of time a source spends ON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either shape is ≤ 1 (infinite mean period).
+    pub fn duty_cycle(&self) -> f64 {
+        let on = Pareto::new(self.shape_on, self.scale_on)
+            .mean()
+            .expect("ON shape must exceed 1 for a finite mean");
+        let off = Pareto::new(self.shape_off, self.scale_off)
+            .mean()
+            .expect("OFF shape must exceed 1 for a finite mean");
+        on / (on + off)
+    }
+}
+
+impl Default for OnOffParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SourceState {
+    on: bool,
+    /// Time the current ON/OFF phase ends.
+    phase_end: f64,
+    /// Next emission time (meaningful while ON).
+    next_emit: f64,
+}
+
+/// The superposition of `n` Pareto ON/OFF sources: a self-similar packet
+/// arrival process (Leland et al.; paper §4.3).
+///
+/// Each source emits one packet every `gap` cycles while ON. Multiplexing
+/// many heavy-tailed sources preserves burstiness across time scales, unlike
+/// a Poisson process of the same mean rate.
+///
+/// The process is event-driven internally; drive it with
+/// [`emissions_until`](Self::emissions_until) once per cycle (or less often)
+/// and it does work only when events actually fire.
+#[derive(Debug, Clone)]
+pub struct SelfSimilarSource {
+    params: OnOffParams,
+    on_dist: Pareto,
+    off_dist: Pareto,
+    gap: f64,
+    sources: Vec<SourceState>,
+    heap: BinaryHeap<Reverse<(Cycles, u32)>>,
+    rng: SmallRng,
+    effective_rate: f64,
+    /// Absolute cycle the process starts at; internal event times are
+    /// relative to it.
+    origin: Cycles,
+}
+
+impl SelfSimilarSource {
+    /// Create the superposition of `sources` ON/OFF sources targeting an
+    /// aggregate mean rate of `rate` packets per cycle.
+    ///
+    /// The per-source emission gap is `duty / (rate / sources)` cycles,
+    /// clamped to at least one cycle; if the clamp binds, the achievable
+    /// rate (see [`effective_rate`](Self::effective_rate)) is lower than
+    /// requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources == 0`, `rate` is not finite and positive, or a
+    /// shape parameter is ≤ 1.
+    pub fn new(sources: usize, rate: f64, params: OnOffParams, seed: u64) -> Self {
+        assert!(sources > 0, "at least one source is required");
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        let duty = params.duty_cycle();
+        let per_source = rate / sources as f64;
+        let gap = (duty / per_source).max(1.0);
+        let effective_rate = duty / gap * sources as f64;
+        let on_dist = Pareto::new(params.shape_on, params.scale_on);
+        let off_dist = Pareto::new(params.shape_off, params.scale_off);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut heap = BinaryHeap::with_capacity(sources);
+        let states = (0..sources)
+            .map(|i| {
+                // Start OFF with a randomized residual so the ensemble begins
+                // near steady state instead of synchronized.
+                let residual = off_dist.sample(&mut rng) * rng.gen::<f64>();
+                let s = SourceState {
+                    on: false,
+                    phase_end: residual,
+                    next_emit: f64::INFINITY,
+                };
+                heap.push(Reverse((residual.ceil() as Cycles, i as u32)));
+                s
+            })
+            .collect();
+        Self {
+            params,
+            on_dist,
+            off_dist,
+            gap,
+            sources: states,
+            heap,
+            rng,
+            effective_rate,
+            origin: 0,
+        }
+    }
+
+    /// Shift the process to start at absolute cycle `origin`: the first
+    /// event cannot fire before it, and no emissions accumulate for time
+    /// before it. Use when a source is created mid-simulation (e.g. a task
+    /// session arriving at `origin`).
+    pub fn with_origin(mut self, origin: Cycles) -> Self {
+        self.origin = origin;
+        self
+    }
+
+    /// The ON/OFF parameters in use.
+    pub fn params(&self) -> &OnOffParams {
+        &self.params
+    }
+
+    /// The mean rate this process actually achieves, in packets/cycle.
+    pub fn effective_rate(&self) -> f64 {
+        self.effective_rate
+    }
+
+    /// Cycle of the next internal event (emission or phase toggle), in
+    /// absolute time.
+    pub fn next_event(&self) -> Cycles {
+        self.heap
+            .peek()
+            .map(|Reverse((t, _))| t.saturating_add(self.origin))
+            .unwrap_or(Cycles::MAX)
+    }
+
+    /// Process all events up to and including absolute cycle `now`; returns
+    /// how many packets the ensemble emitted.
+    pub fn emissions_until(&mut self, now: Cycles) -> u32 {
+        if now < self.origin {
+            return 0;
+        }
+        let now = now - self.origin;
+        let mut emitted = 0;
+        while let Some(&Reverse((t, idx))) = self.heap.peek() {
+            if t > now {
+                break;
+            }
+            self.heap.pop();
+            let i = idx as usize;
+            let s = self.sources[i];
+            let next = if s.on {
+                if s.next_emit <= s.phase_end {
+                    // Emission event.
+                    emitted += 1;
+                    let mut st = s;
+                    st.next_emit += self.gap;
+                    self.sources[i] = st;
+                    st.next_emit.min(st.phase_end)
+                } else {
+                    // ON phase ends; go OFF.
+                    let off = self.off_dist.sample(&mut self.rng);
+                    let mut st = s;
+                    st.on = false;
+                    st.phase_end += off;
+                    st.next_emit = f64::INFINITY;
+                    self.sources[i] = st;
+                    st.phase_end
+                }
+            } else {
+                // OFF phase ends; go ON with a random emission phase.
+                let on = self.on_dist.sample(&mut self.rng);
+                let start = s.phase_end;
+                let mut st = s;
+                st.on = true;
+                st.phase_end = start + on;
+                st.next_emit = start + self.gap * self.rng.gen::<f64>();
+                self.sources[i] = st;
+                st.next_emit.min(st.phase_end)
+            };
+            self.heap.push(Reverse((next.ceil() as Cycles, idx)));
+        }
+        emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params_duty_cycle() {
+        let p = OnOffParams::paper();
+        // mean ON = 1000*3.5 = 3500, mean OFF = 3000*6 = 18000.
+        assert!((p.duty_cycle() - 3500.0 / 21500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_rate_is_close_to_target() {
+        let mut src = SelfSimilarSource::new(64, 0.05, OnOffParams::paper(), 42);
+        assert!((src.effective_rate() - 0.05).abs() < 1e-9);
+        let horizon: Cycles = 4_000_000;
+        let mut total = 0u64;
+        for t in 0..horizon {
+            total += u64::from(src.emissions_until(t));
+        }
+        let rate = total as f64 / horizon as f64;
+        // Heavy tails converge slowly; accept a wide but meaningful band.
+        assert!(rate > 0.02 && rate < 0.10, "rate {rate} too far from 0.05");
+    }
+
+    #[test]
+    fn gap_clamp_reduces_effective_rate() {
+        // One source can emit at most 1 packet/cycle * duty.
+        let src = SelfSimilarSource::new(1, 10.0, OnOffParams::paper(), 1);
+        let duty = OnOffParams::paper().duty_cycle();
+        assert!((src.effective_rate() - duty).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let run = |seed| {
+            let mut s = SelfSimilarSource::new(16, 0.02, OnOffParams::paper(), seed);
+            (0..100_000u64)
+                .map(|t| u64::from(s.emissions_until(t)))
+                .sum::<u64>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn traffic_is_bursty_not_uniform() {
+        // Compare the variance of per-1000-cycle counts against a Poisson
+        // process of the same rate: self-similar traffic must be overdispersed.
+        let mut src = SelfSimilarSource::new(32, 0.05, OnOffParams::paper(), 5);
+        let bins = 2_000usize;
+        let bin_len = 1_000u64;
+        let mut counts = vec![0f64; bins];
+        for (b, c) in counts.iter_mut().enumerate() {
+            let end = (b as u64 + 1) * bin_len;
+            for t in (b as u64 * bin_len)..end {
+                *c += f64::from(src.emissions_until(t));
+            }
+        }
+        let mean = counts.iter().sum::<f64>() / bins as f64;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / bins as f64;
+        // Poisson would give var ~= mean; require clear overdispersion.
+        assert!(var > 2.0 * mean, "var {var} vs mean {mean} not bursty");
+    }
+
+    #[test]
+    fn next_event_is_monotone_under_polling() {
+        let mut src = SelfSimilarSource::new(8, 0.01, OnOffParams::paper(), 3);
+        let mut last = 0;
+        for t in 0..50_000u64 {
+            src.emissions_until(t);
+            let ne = src.next_event();
+            assert!(ne > t, "next event {ne} not in the future at {t}");
+            assert!(ne >= last.min(ne));
+            last = ne;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn zero_sources_panics() {
+        let _ = SelfSimilarSource::new(0, 1.0, OnOffParams::paper(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn bad_rate_panics() {
+        let _ = SelfSimilarSource::new(1, 0.0, OnOffParams::paper(), 0);
+    }
+}

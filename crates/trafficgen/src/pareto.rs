@@ -1,0 +1,138 @@
+use rand::Rng;
+
+/// A Pareto distribution with shape `β` and location (scale) `a`
+/// (paper Eq. 7): `P[X ≤ x] = 1 − (a/x)^β` for `x ≥ a`.
+///
+/// Heavy-tailed for small shapes: the mean is finite only for `β > 1` and
+/// the variance only for `β > 2`, which is exactly why Pareto ON/OFF periods
+/// with `1 < β < 2` produce long-range-dependent aggregate traffic.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use trafficgen::Pareto;
+///
+/// let p = Pareto::new(1.4, 100.0);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let x = p.sample(&mut rng);
+/// assert!(x >= 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    shape: f64,
+    scale: f64,
+}
+
+impl Pareto {
+    /// Create a Pareto distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` or `scale` is not finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape.is_finite() && shape > 0.0, "shape must be positive");
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        Self { shape, scale }
+    }
+
+    /// Shape parameter `β`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Location parameter `a` (the distribution's minimum).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Mean `a·β/(β−1)`, or `None` when `β ≤ 1` (infinite mean).
+    pub fn mean(&self) -> Option<f64> {
+        (self.shape > 1.0).then(|| self.scale * self.shape / (self.shape - 1.0))
+    }
+
+    /// Draw one sample by inverse-CDF: `a / U^(1/β)` with `U ∈ (0, 1]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+        self.scale / u.powf(1.0 / self.shape)
+    }
+
+    /// The cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < self.scale {
+            0.0
+        } else {
+            1.0 - (self.scale / x).powf(self.shape)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_respect_location_bound() {
+        let p = Pareto::new(1.2, 50.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(p.sample(&mut rng) >= 50.0);
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_theory() {
+        // Use a light tail (finite variance) so the sample mean converges.
+        let p = Pareto::new(3.0, 10.0);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| p.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        let expect = p.mean().unwrap(); // 15
+        assert!(
+            (mean - expect).abs() / expect < 0.02,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_has_no_finite_mean() {
+        assert_eq!(Pareto::new(1.0, 1.0).mean(), None);
+        assert_eq!(Pareto::new(0.5, 1.0).mean(), None);
+        assert!(Pareto::new(1.4, 1.0).mean().is_some());
+    }
+
+    #[test]
+    fn cdf_matches_definition() {
+        let p = Pareto::new(2.0, 4.0);
+        assert_eq!(p.cdf(3.0), 0.0);
+        assert_eq!(p.cdf(4.0), 0.0);
+        assert!((p.cdf(8.0) - 0.75).abs() < 1e-12);
+        assert!(p.cdf(1e9) > 0.999);
+    }
+
+    #[test]
+    fn empirical_cdf_agrees() {
+        let p = Pareto::new(1.4, 100.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let below: usize = (0..n).filter(|_| p.sample(&mut rng) <= 300.0).count();
+        let expect = p.cdf(300.0);
+        let got = below as f64 / n as f64;
+        assert!((got - expect).abs() < 0.01, "cdf {got} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn invalid_shape_panics() {
+        let _ = Pareto::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn invalid_scale_panics() {
+        let _ = Pareto::new(1.0, f64::NAN);
+    }
+}

@@ -1,0 +1,364 @@
+use netsim::{NodeId, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Cycles, Workload};
+
+/// Uniform random traffic: every cycle each node injects a packet with
+/// probability `rate / num_nodes`, destination uniform over the other nodes.
+///
+/// This is the classic short-range-dependent baseline; it has neither
+/// spatial nor temporal variance beyond what the topology imposes.
+#[derive(Debug, Clone)]
+pub struct UniformRandomWorkload {
+    num_nodes: usize,
+    p_inject: f64,
+    rng: SmallRng,
+}
+
+impl UniformRandomWorkload {
+    /// Create uniform random traffic at `rate` packets/cycle network-wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes < 2` or the per-node probability
+    /// `rate / num_nodes` exceeds 1.
+    pub fn new(num_nodes: usize, rate: f64, seed: u64) -> Self {
+        assert!(num_nodes >= 2, "need at least two nodes");
+        let p_inject = rate / num_nodes as f64;
+        assert!(
+            (0.0..=1.0).contains(&p_inject),
+            "per-node injection probability {p_inject} outside [0, 1]"
+        );
+        Self {
+            num_nodes,
+            p_inject,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Workload for UniformRandomWorkload {
+    fn poll(&mut self, _now: Cycles, sink: &mut dyn FnMut(NodeId, NodeId)) {
+        for src in 0..self.num_nodes {
+            if self.rng.gen::<f64>() < self.p_inject {
+                let mut dest = self.rng.gen_range(0..self.num_nodes - 1);
+                if dest >= src {
+                    dest += 1;
+                }
+                sink(src, dest);
+            }
+        }
+    }
+}
+
+/// Classic permutation traffic patterns: every source sends to one fixed
+/// destination determined by a permutation of the address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Permutation {
+    /// Complement every address bit (requires a power-of-two node count).
+    BitComplement,
+    /// Swap the two coordinates (requires a 2-D topology).
+    Transpose,
+    /// Reverse the address bits (requires a power-of-two node count).
+    BitReverse,
+    /// Send almost halfway around the lowest dimension (`⌈k/2⌉ − 1` hops
+    /// positive) — the classic adversarial pattern for tori.
+    Tornado,
+    /// Send one hop in the positive direction of the lowest dimension
+    /// (wrapping), the friendliest possible pattern.
+    NearestNeighbor,
+}
+
+impl Permutation {
+    /// The destination `self` maps `node` to on `topo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology does not meet the pattern's requirement
+    /// (power-of-two size for the bit patterns, 2 dimensions for transpose).
+    pub fn apply(&self, topo: &Topology, node: NodeId) -> NodeId {
+        let n = topo.num_nodes();
+        match self {
+            Permutation::BitComplement => {
+                assert!(n.is_power_of_two(), "bit complement needs 2^m nodes");
+                !node & (n - 1)
+            }
+            Permutation::Transpose => {
+                assert_eq!(topo.dims(), 2, "transpose needs a 2-D topology");
+                let (x, y) = (topo.coord(node, 0), topo.coord(node, 1));
+                topo.node_at(&[y, x])
+            }
+            Permutation::BitReverse => {
+                assert!(n.is_power_of_two(), "bit reverse needs 2^m nodes");
+                let bits = n.trailing_zeros();
+                let mut out = 0usize;
+                for b in 0..bits {
+                    if node & (1 << b) != 0 {
+                        out |= 1 << (bits - 1 - b);
+                    }
+                }
+                out
+            }
+            Permutation::Tornado => self.shift_dim0(topo, node, topo.radix().div_ceil(2) - 1),
+            Permutation::NearestNeighbor => self.shift_dim0(topo, node, 1),
+        }
+    }
+
+    fn shift_dim0(&self, topo: &Topology, node: NodeId, hops: u32) -> NodeId {
+        let mut coords: Vec<u32> = (0..topo.dims()).map(|d| topo.coord(node, d)).collect();
+        coords[0] = (coords[0] + hops) % topo.radix();
+        topo.node_at(&coords)
+    }
+}
+
+/// Hotspot traffic: a fraction of packets target one hot node, the rest a
+/// uniform destination — the classic stress test for congestion handling
+/// (and for DVS policies that must keep the hot path fast while everything
+/// else sleeps).
+#[derive(Debug, Clone)]
+pub struct HotspotWorkload {
+    num_nodes: usize,
+    hotspot: NodeId,
+    hot_fraction: f64,
+    p_inject: f64,
+    rng: SmallRng,
+}
+
+impl HotspotWorkload {
+    /// Create hotspot traffic at `rate` packets/cycle network-wide, sending
+    /// `hot_fraction` of packets to `hotspot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hotspot` is out of range, `hot_fraction` is outside
+    /// `[0, 1]`, or the per-node injection probability exceeds 1.
+    pub fn new(num_nodes: usize, hotspot: NodeId, hot_fraction: f64, rate: f64, seed: u64) -> Self {
+        assert!(num_nodes >= 2, "need at least two nodes");
+        assert!(hotspot < num_nodes, "hotspot {hotspot} out of range");
+        assert!(
+            (0.0..=1.0).contains(&hot_fraction),
+            "hot fraction must be in [0, 1]"
+        );
+        let p_inject = rate / num_nodes as f64;
+        assert!(
+            (0.0..=1.0).contains(&p_inject),
+            "per-node injection probability {p_inject} outside [0, 1]"
+        );
+        Self {
+            num_nodes,
+            hotspot,
+            hot_fraction,
+            p_inject,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Workload for HotspotWorkload {
+    fn poll(&mut self, _now: Cycles, sink: &mut dyn FnMut(NodeId, NodeId)) {
+        for src in 0..self.num_nodes {
+            if self.rng.gen::<f64>() >= self.p_inject {
+                continue;
+            }
+            let dest = if self.rng.gen::<f64>() < self.hot_fraction && src != self.hotspot {
+                self.hotspot
+            } else {
+                let mut d = self.rng.gen_range(0..self.num_nodes - 1);
+                if d >= src {
+                    d += 1;
+                }
+                d
+            };
+            sink(src, dest);
+        }
+    }
+}
+
+/// Permutation traffic: Bernoulli injections (like
+/// [`UniformRandomWorkload`]) toward each node's fixed permuted destination.
+/// Sources whose permutation maps to themselves stay silent.
+#[derive(Debug, Clone)]
+pub struct PermutationWorkload {
+    dests: Vec<NodeId>,
+    p_inject: f64,
+    rng: SmallRng,
+}
+
+impl PermutationWorkload {
+    /// Create permutation traffic at `rate` packets/cycle network-wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Permutation::apply`] and
+    /// [`UniformRandomWorkload::new`].
+    pub fn new(perm: Permutation, topo: &Topology, rate: f64, seed: u64) -> Self {
+        let n = topo.num_nodes();
+        assert!(n >= 2, "need at least two nodes");
+        let p_inject = rate / n as f64;
+        assert!(
+            (0.0..=1.0).contains(&p_inject),
+            "per-node injection probability {p_inject} outside [0, 1]"
+        );
+        let dests = (0..n).map(|s| perm.apply(topo, s)).collect();
+        Self {
+            dests,
+            p_inject,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Workload for PermutationWorkload {
+    fn poll(&mut self, _now: Cycles, sink: &mut dyn FnMut(NodeId, NodeId)) {
+        for (src, &dest) in self.dests.iter().enumerate() {
+            if dest != src && self.rng.gen::<f64>() < self.p_inject {
+                sink(src, dest);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::mesh(8, 2).unwrap()
+    }
+
+    #[test]
+    fn uniform_random_rate_and_validity() {
+        let mut wl = UniformRandomWorkload::new(64, 1.0, 4);
+        let mut count = 0u64;
+        for now in 0..100_000u64 {
+            wl.poll(now, &mut |s, d| {
+                assert!(s < 64 && d < 64 && s != d);
+                count += 1;
+            });
+        }
+        let rate = count as f64 / 100_000.0;
+        assert!((rate - 1.0).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn uniform_random_destinations_are_uniform() {
+        let mut wl = UniformRandomWorkload::new(8, 2.0, 9);
+        let mut hist = [0u32; 8];
+        for now in 0..50_000u64 {
+            wl.poll(now, &mut |_, d| hist[d] += 1);
+        }
+        let total: u32 = hist.iter().sum();
+        for (d, &c) in hist.iter().enumerate() {
+            let frac = f64::from(c) / f64::from(total);
+            assert!((frac - 0.125).abs() < 0.02, "dest {d} frac {frac}");
+        }
+    }
+
+    #[test]
+    fn bit_complement_is_an_involution() {
+        let t = topo();
+        for node in t.nodes() {
+            let d = Permutation::BitComplement.apply(&t, node);
+            assert_eq!(Permutation::BitComplement.apply(&t, d), node);
+        }
+        // (0,0) -> (7,7)
+        assert_eq!(Permutation::BitComplement.apply(&t, 0), 63);
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let t = topo();
+        let n = t.node_at(&[2, 5]);
+        let d = Permutation::Transpose.apply(&t, n);
+        assert_eq!(t.coord(d, 0), 5);
+        assert_eq!(t.coord(d, 1), 2);
+        // Diagonal nodes map to themselves.
+        let diag = t.node_at(&[4, 4]);
+        assert_eq!(Permutation::Transpose.apply(&t, diag), diag);
+    }
+
+    #[test]
+    fn bit_reverse_is_an_involution() {
+        let t = topo();
+        for node in t.nodes() {
+            let d = Permutation::BitReverse.apply(&t, node);
+            assert_eq!(Permutation::BitReverse.apply(&t, d), node);
+        }
+        // 6 bits: 0b000001 -> 0b100000.
+        assert_eq!(Permutation::BitReverse.apply(&t, 1), 32);
+    }
+
+    #[test]
+    fn permutation_workload_uses_fixed_pairs() {
+        let t = topo();
+        let mut wl = PermutationWorkload::new(Permutation::BitComplement, &t, 2.0, 1);
+        for now in 0..20_000u64 {
+            wl.poll(now, &mut |s, d| {
+                assert_eq!(d, Permutation::BitComplement.apply(&t, s));
+            });
+        }
+    }
+
+    #[test]
+    fn self_mapping_sources_stay_silent() {
+        let t = topo();
+        let mut wl = PermutationWorkload::new(Permutation::Transpose, &t, 2.0, 1);
+        for now in 0..20_000u64 {
+            wl.poll(now, &mut |s, d| assert_ne!(s, d));
+        }
+    }
+
+    #[test]
+    fn tornado_sends_almost_halfway() {
+        let t = topo(); // 8-ary: ceil(8/2) - 1 = 3 hops positive in X
+        let n = t.node_at(&[2, 5]);
+        let d = Permutation::Tornado.apply(&t, n);
+        assert_eq!((t.coord(d, 0), t.coord(d, 1)), (5, 5));
+        // Wraps at the edge.
+        let edge = t.node_at(&[6, 0]);
+        let de = Permutation::Tornado.apply(&t, edge);
+        assert_eq!(t.coord(de, 0), 1);
+    }
+
+    #[test]
+    fn nearest_neighbor_is_one_hop() {
+        let t = topo();
+        for node in t.nodes() {
+            let d = Permutation::NearestNeighbor.apply(&t, node);
+            assert_eq!(t.coord(d, 0), (t.coord(node, 0) + 1) % 8);
+            assert_eq!(t.coord(d, 1), t.coord(node, 1));
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let mut wl = HotspotWorkload::new(64, 9, 0.5, 2.0, 3);
+        let mut to_hot = 0u64;
+        let mut total = 0u64;
+        for now in 0..50_000u64 {
+            wl.poll(now, &mut |s, d| {
+                assert_ne!(s, d);
+                total += 1;
+                if d == 9 {
+                    to_hot += 1;
+                }
+            });
+        }
+        let frac = to_hot as f64 / total as f64;
+        // 50% directed + ~1/63 of the uniform remainder.
+        assert!(frac > 0.45 && frac < 0.60, "hot fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "hotspot")]
+    fn hotspot_out_of_range_panics() {
+        let _ = HotspotWorkload::new(16, 16, 0.5, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn overload_rate_panics() {
+        let _ = UniformRandomWorkload::new(4, 5.0, 0);
+    }
+}

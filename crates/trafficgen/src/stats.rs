@@ -1,0 +1,177 @@
+//! Descriptive statistics for traffic series.
+//!
+//! The paper argues qualitatively from snapshots (its Figs. 8–9) that the
+//! two-level workload has high spatial and temporal variance; these
+//! utilities quantify that: index of dispersion, autocorrelation, and
+//! peak-to-mean ratios for binned injection counts, and coefficient of
+//! variation for spatial distributions. The `fig09_temporal_variance`
+//! bench and the traffic tests use them to *check* burstiness instead of
+//! eyeballing it.
+
+/// Arithmetic mean; 0 for an empty series.
+pub fn mean(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        0.0
+    } else {
+        series.iter().sum::<f64>() / series.len() as f64
+    }
+}
+
+/// Population variance; 0 for an empty series.
+pub fn variance(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    let m = mean(series);
+    series.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / series.len() as f64
+}
+
+/// Index of dispersion (variance-to-mean ratio) of a count series.
+///
+/// A Poisson process has IDC = 1 at every bin size; long-range-dependent
+/// traffic has IDC growing with the bin size. Returns `None` when the mean
+/// is zero.
+pub fn index_of_dispersion(series: &[f64]) -> Option<f64> {
+    let m = mean(series);
+    (m > 0.0).then(|| variance(series) / m)
+}
+
+/// Coefficient of variation (σ/µ). Returns `None` when the mean is zero.
+pub fn coefficient_of_variation(series: &[f64]) -> Option<f64> {
+    let m = mean(series);
+    (m > 0.0).then(|| variance(series).sqrt() / m)
+}
+
+/// Peak-to-mean ratio. Returns `None` when the mean is zero.
+pub fn peak_to_mean(series: &[f64]) -> Option<f64> {
+    let m = mean(series);
+    if m <= 0.0 {
+        return None;
+    }
+    Some(series.iter().copied().fold(f64::MIN, f64::max) / m)
+}
+
+/// Sample autocorrelation at `lag` (biased estimator, the standard one for
+/// ACF plots). Returns `None` when the series is shorter than `lag + 2` or
+/// has zero variance.
+pub fn autocorrelation(series: &[f64], lag: usize) -> Option<f64> {
+    if series.len() < lag + 2 {
+        return None;
+    }
+    let m = mean(series);
+    let denom: f64 = series.iter().map(|v| (v - m) * (v - m)).sum();
+    if denom <= 0.0 {
+        return None;
+    }
+    let num: f64 = series
+        .windows(lag + 1)
+        .map(|w| (w[0] - m) * (w[lag] - m))
+        .sum();
+    Some(num / denom)
+}
+
+/// Aggregate a series into blocks of `m` samples (summing), the operation
+/// behind variance–time analysis; trailing partial blocks are dropped.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn aggregate(series: &[f64], m: usize) -> Vec<f64> {
+    assert!(m > 0, "block size must be positive");
+    series
+        .chunks_exact(m)
+        .map(|c| c.iter().sum::<f64>())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OnOffParams, SelfSimilarSource};
+
+    #[test]
+    fn basic_moments() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&s), 2.5);
+        assert!((variance(&s) - 1.25).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn dispersion_of_constant_series_is_zero() {
+        let s = [3.0; 100];
+        assert_eq!(index_of_dispersion(&s), Some(0.0));
+        assert_eq!(coefficient_of_variation(&s), Some(0.0));
+        assert_eq!(peak_to_mean(&s), Some(1.0));
+        assert_eq!(index_of_dispersion(&[0.0; 4]), None);
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series_is_negative_at_lag_one() {
+        let s: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r1 = autocorrelation(&s, 1).unwrap();
+        assert!(r1 < -0.9, "lag-1 ACF {r1}");
+        let r2 = autocorrelation(&s, 2).unwrap();
+        assert!(r2 > 0.9, "lag-2 ACF {r2}");
+        assert_eq!(autocorrelation(&s, 0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn autocorrelation_edge_cases() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), None);
+        assert_eq!(autocorrelation(&[2.0; 50], 1), None, "zero variance");
+    }
+
+    #[test]
+    fn aggregate_sums_blocks() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(aggregate(&s, 2), vec![3.0, 7.0]);
+        assert_eq!(aggregate(&s, 5), vec![15.0]);
+        assert!(aggregate(&s, 6).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_size_panics() {
+        let _ = aggregate(&[1.0], 0);
+    }
+
+    #[test]
+    fn self_similar_traffic_has_growing_dispersion() {
+        // The defining fingerprint of LRD: the index of dispersion grows
+        // with the aggregation scale, where Poisson stays flat.
+        let mut src = SelfSimilarSource::new(64, 0.1, OnOffParams::paper(), 21);
+        let bins = 16_384usize;
+        let mut series = vec![0f64; bins];
+        for (b, slot) in series.iter_mut().enumerate() {
+            for t in (b as u64 * 100)..((b as u64 + 1) * 100) {
+                *slot += f64::from(src.emissions_until(t));
+            }
+        }
+        let idc_fine = index_of_dispersion(&series).unwrap();
+        let coarse = aggregate(&series, 64);
+        let idc_coarse = index_of_dispersion(&coarse).unwrap();
+        assert!(
+            idc_coarse > 3.0 * idc_fine,
+            "IDC must grow with scale: fine {idc_fine}, coarse {idc_coarse}"
+        );
+    }
+
+    #[test]
+    fn self_similar_traffic_has_long_memory() {
+        let mut src = SelfSimilarSource::new(64, 0.1, OnOffParams::paper(), 5);
+        let bins = 8_192usize;
+        let mut series = vec![0f64; bins];
+        for (b, slot) in series.iter_mut().enumerate() {
+            for t in (b as u64 * 200)..((b as u64 + 1) * 200) {
+                *slot += f64::from(src.emissions_until(t));
+            }
+        }
+        // Positive autocorrelation persisting across decades of lag.
+        for lag in [1usize, 10, 100] {
+            let r = autocorrelation(&series, lag).unwrap();
+            assert!(r > 0.05, "ACF at lag {lag} = {r} too small for LRD");
+        }
+    }
+}

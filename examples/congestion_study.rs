@@ -1,0 +1,44 @@
+//! Drive the network past saturation and watch the paper's Fig. 12
+//! phenomenon: network power rises with throughput, then *dips* once the
+//! network congests, because the distributed policy slows the links feeding
+//! congested routers (their delay is hidden by queueing anyway).
+//!
+//! Run with: `cargo run --release --example congestion_study`
+
+use linkdvs::{run_point, ExperimentConfig, PolicyKind, WorkloadKind};
+
+fn main() {
+    let base = ExperimentConfig::paper_baseline()
+        .with_workload(WorkloadKind::paper_two_level_100())
+        .with_policy(PolicyKind::HistoryDvs(Default::default()))
+        .with_run_lengths(200_000, 200_000);
+
+    println!("pushing the DVS network into and beyond saturation\n");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>8}",
+        "offered", "delivered", "power_W", "latency", "level"
+    );
+    let mut rows = Vec::new();
+    for rate in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0] {
+        let r = run_point(&base, rate);
+        println!(
+            "{:>8.1} {:>10.2} {:>10.1} {:>10.0} {:>8.2}",
+            rate,
+            r.throughput,
+            r.avg_power_w,
+            r.avg_latency_cycles.unwrap_or(f64::NAN),
+            r.mean_level
+        );
+        rows.push(r);
+    }
+    let peak_power = rows.iter().map(|r| r.avg_power_w).fold(0.0, f64::max);
+    let final_power = rows.last().expect("rows non-empty").avg_power_w;
+    if final_power < peak_power {
+        println!(
+            "\npower peaked at {peak_power:.1} W and fell to {final_power:.1} W in deep congestion —"
+        );
+        println!("the policy slows credit-starved links, reproducing the paper's Fig. 12 dip.");
+    } else {
+        println!("\nno power dip observed at these loads; push rates higher.");
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build the paper's 8x8 mesh with history-based link DVS,
+//! drive it with the two-level self-similar workload, and print the
+//! power/latency outcome against the non-DVS baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use linkdvs::{run_point, ExperimentConfig, PolicyKind, WorkloadKind};
+
+fn main() {
+    // One operating point at a moderate load. `paper_baseline()` is the
+    // paper's full 8x8 system; the run lengths here are trimmed so the
+    // example finishes in a few seconds.
+    let offered = 0.6; // packets/cycle across the whole network
+    let base = ExperimentConfig::paper_baseline()
+        .with_workload(WorkloadKind::paper_two_level_100())
+        .with_run_lengths(150_000, 150_000);
+
+    println!("simulating {offered} packets/cycle on the paper's 8x8 mesh...\n");
+
+    let no_dvs = run_point(&base.clone().with_policy(PolicyKind::NoDvs), offered);
+    let dvs = run_point(
+        &base.with_policy(PolicyKind::HistoryDvs(Default::default())),
+        offered,
+    );
+
+    println!("{:<22} {:>12} {:>14}", "", "without DVS", "history DVS");
+    println!(
+        "{:<22} {:>12.3} {:>14.3}",
+        "throughput (pkt/cyc)", no_dvs.throughput, dvs.throughput
+    );
+    println!(
+        "{:<22} {:>12.0} {:>14.0}",
+        "mean latency (cyc)",
+        no_dvs.avg_latency_cycles.unwrap_or(f64::NAN),
+        dvs.avg_latency_cycles.unwrap_or(f64::NAN)
+    );
+    println!(
+        "{:<22} {:>12.1} {:>14.1}",
+        "link power (W)", no_dvs.avg_power_w, dvs.avg_power_w
+    );
+    println!(
+        "{:<22} {:>12.2} {:>14.2}",
+        "power savings (x)", no_dvs.power_savings, dvs.power_savings
+    );
+    println!(
+        "\nthe DVS policy ran the links at mean level {:.1} of 9 and cut link power {:.1}x",
+        dvs.mean_level, dvs.power_savings
+    );
+}

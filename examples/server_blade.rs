@@ -1,0 +1,59 @@
+//! The paper's motivating scenario: a power-constrained server-blade
+//! fabric. In a Mellanox blade, router + links take 15 W of a 40 W budget —
+//! as much as the processor. This example shows what history-based link DVS
+//! buys on such a fabric across its daily load range, and verifies the
+//! policy hardware overhead is negligible.
+//!
+//! Run with: `cargo run --release --example server_blade`
+
+use dvspolicy::HardwareCost;
+use linkdvs::{sweep, ExperimentConfig, PolicyKind, WorkloadKind};
+
+fn main() {
+    // A blade fabric idles most of the day and bursts under load; sweep
+    // three representative operating regimes.
+    let rates = [0.1, 0.6, 1.4];
+    let labels = ["overnight (idle)", "business hours", "peak batch"];
+    let base = ExperimentConfig::paper_baseline()
+        .with_workload(WorkloadKind::paper_two_level_50())
+        .with_run_lengths(200_000, 200_000);
+
+    let no_dvs = sweep(&base.clone().with_policy(PolicyKind::NoDvs), &rates);
+    let dvs = sweep(
+        &base.with_policy(PolicyKind::HistoryDvs(Default::default())),
+        &rates,
+    );
+
+    println!("server-blade fabric: 8x8 mesh, 50 concurrent task sessions\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>9} {:>12} {:>12}",
+        "regime", "fixed_W", "dvs_W", "savings", "lat_fixed", "lat_dvs"
+    );
+    for i in 0..rates.len() {
+        println!(
+            "{:<18} {:>10.1} {:>10.1} {:>8.1}x {:>12.0} {:>12.0}",
+            labels[i],
+            no_dvs[i].avg_power_w,
+            dvs[i].avg_power_w,
+            no_dvs[i].avg_power_w / dvs[i].avg_power_w,
+            no_dvs[i].avg_latency_cycles.unwrap_or(f64::NAN),
+            dvs[i].avg_latency_cycles.unwrap_or(f64::NAN),
+        );
+    }
+
+    let hw = HardwareCost::paper();
+    let overhead = hw.network_power_overhead_w(64, 4);
+    println!(
+        "\npolicy hardware: {} gates and {:.2} W across the whole fabric ({:.2}% of the fixed link budget)",
+        hw.network_gates(64, 4),
+        overhead,
+        overhead / no_dvs[0].avg_power_w * 100.0
+    );
+    let avg_savings: f64 = no_dvs
+        .iter()
+        .zip(&dvs)
+        .map(|(a, b)| a.avg_power_w / b.avg_power_w)
+        .sum::<f64>()
+        / rates.len() as f64;
+    println!("average link-power savings across regimes: {avg_savings:.1}x");
+}

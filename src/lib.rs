@@ -1,0 +1,17 @@
+//! Umbrella crate for the HPCA 2003 link-DVS reproduction.
+//!
+//! This package exists to host the repository-level `examples/` and `tests/`
+//! directories; the actual functionality lives in the workspace crates, which
+//! are re-exported here for convenience:
+//!
+//! - [`netsim`] — flit-level k-ary n-cube network simulator.
+//! - [`dvslink`] — DVS link model (levels, transitions, energy).
+//! - [`dvspolicy`] — history-based DVS policy and baselines.
+//! - [`trafficgen`] — two-level self-similar workload generator.
+//! - [`linkdvs`] — experiment layer (configs, sweeps, metrics).
+
+pub use dvslink;
+pub use dvspolicy;
+pub use linkdvs;
+pub use netsim;
+pub use trafficgen;

@@ -1,0 +1,138 @@
+//! System invariants checked across crates: flit conservation under DVS
+//! transitions, energy-accounting consistency, and paper-constant sanity.
+
+use dvspolicy::{HistoryDvsConfig, HistoryDvsPolicy};
+use dvslink::{RegulatorParams, TransitionTiming, VfTable};
+use netsim::{Network, NetworkConfig, Topology};
+use trafficgen::{TaskModelConfig, TaskWorkload, Workload};
+
+fn dvs_network(topology: Topology, timing: TransitionTiming) -> Network {
+    let mut cfg = NetworkConfig::paper_8x8();
+    cfg.topology = topology;
+    cfg.timing = timing;
+    Network::with_policies(cfg, |_, _| {
+        Box::new(HistoryDvsPolicy::new(HistoryDvsConfig::paper()))
+    })
+    .expect("valid config")
+}
+
+#[test]
+fn flits_are_conserved_through_dvs_transitions() {
+    // Aggressive timing makes transitions (including link-disabled locks)
+    // frequent within the test horizon — the hardest case for conservation.
+    let mut net = dvs_network(
+        Topology::mesh(4, 2).expect("valid"),
+        TransitionTiming::paper_aggressive(),
+    );
+    let topo = net.topology().clone();
+    let mut wl = TaskWorkload::new(
+        TaskModelConfig {
+            mean_duration: 20_000,
+            mean_concurrent_tasks: 10.0,
+            ..TaskModelConfig::paper_100_tasks()
+        },
+        &topo,
+        0.4,
+        3,
+    );
+    let mut pend = Vec::new();
+    for t in 0..60_000u64 {
+        wl.poll(t, &mut |s, d| pend.push((s, d)));
+        for (s, d) in pend.drain(..) {
+            net.inject(s, d);
+        }
+        net.step();
+        if t % 1_000 == 0 {
+            let injected = net.stats().flits_injected() as usize;
+            let accounted = net.stats().flits_delivered() as usize
+                + net.flits_in_network()
+                + net.flits_in_source_queues();
+            assert_eq!(injected, accounted, "flit leak at t={t}");
+        }
+    }
+    // Drain: no further injection; everything in flight must eject.
+    for _ in 0..400_000 {
+        net.step();
+        if net.flits_in_network() == 0 && net.flits_in_source_queues() == 0 {
+            break;
+        }
+    }
+    assert_eq!(net.flits_in_network(), 0, "flits stuck in network");
+    assert_eq!(net.flits_in_source_queues(), 0, "flits stuck at sources");
+    assert_eq!(
+        net.stats().flits_injected(),
+        net.stats().flits_delivered(),
+        "drained network must have delivered everything"
+    );
+}
+
+#[test]
+fn torus_with_dvs_conserves_flits() {
+    let mut net = dvs_network(
+        Topology::torus(4, 2).expect("valid"),
+        TransitionTiming::paper_aggressive(),
+    );
+    for i in 0..200u64 {
+        net.inject((i % 16) as usize, ((i * 7 + 3) % 16) as usize);
+    }
+    for _ in 0..200_000 {
+        net.step();
+        if net.stats().packets_delivered() == 200 {
+            break;
+        }
+    }
+    assert_eq!(net.stats().packets_delivered(), 200);
+}
+
+#[test]
+fn energy_equals_power_integral_for_static_network() {
+    let mut cfg = NetworkConfig::paper_8x8();
+    cfg.topology = Topology::mesh(4, 2).expect("valid");
+    cfg.initial_level = 4;
+    let mut net = Network::new(cfg).expect("valid");
+    net.begin_measurement();
+    net.run(50_000);
+    // Static levels: energy must equal instantaneous power x time exactly.
+    let expect = net.instantaneous_power_w() * 50_000.0 * 1e-9;
+    assert!(
+        (net.energy_j() - expect).abs() / expect < 1e-9,
+        "energy {} vs integral {}",
+        net.energy_j(),
+        expect
+    );
+}
+
+#[test]
+fn average_power_is_bounded_by_level_extremes() {
+    let mut net = dvs_network(
+        Topology::mesh(4, 2).expect("valid"),
+        TransitionTiming::paper_aggressive(),
+    );
+    for i in 0..500u64 {
+        net.inject((i % 16) as usize, ((i * 11 + 1) % 16) as usize);
+    }
+    net.begin_measurement();
+    net.run(100_000);
+    let channels = net.channel_count() as f64;
+    let min_w = VfTable::paper().min().power_w() * 8.0 * channels;
+    let max_w = net.max_power_w();
+    let avg = net.average_power_w();
+    assert!(avg >= min_w * 0.999, "avg {avg} below floor {min_w}");
+    // Transition overhead energy can push slightly above the ceiling only
+    // via the Stratakos term; give it 1% headroom.
+    assert!(avg <= max_w * 1.01, "avg {avg} above ceiling {max_w}");
+}
+
+#[test]
+fn paper_constants_are_self_consistent() {
+    // 64 routers x 4 ports x 8 links x 0.2 W = 409.6 W (paper §4.2). Our
+    // 8x8 mesh instantiates 224 real channels (boundary ports have none),
+    // so the simulator's own ceiling is 224 x 1.6 W.
+    let net = Network::new(NetworkConfig::paper_8x8()).expect("valid");
+    assert_eq!(net.channel_count(), 224);
+    assert!((net.max_power_w() - 224.0 * 1.6).abs() < 1e-9);
+    let full_budget: f64 = 64.0 * 4.0 * 8.0 * 0.2;
+    assert!((full_budget - 409.6).abs() < 1e-12);
+    let reg = RegulatorParams::paper();
+    assert!((reg.transition_energy_j(0.9, 2.5) - 2.72e-6).abs() < 1e-12);
+}

@@ -1,0 +1,238 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, spanning all workspace crates.
+
+use dvslink::{DvsChannel, RegulatorParams, TransitionTiming, VfTable};
+use netsim::{Direction, Routing, Topology};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use trafficgen::Pareto;
+
+proptest! {
+    /// Node-id/coordinate round trips hold on every mesh and torus.
+    #[test]
+    fn topology_coords_roundtrip(k in 2u32..9, n in 1u32..4, wrap: bool) {
+        let topo = if wrap { Topology::torus(k, n) } else { Topology::mesh(k, n) }.unwrap();
+        for node in topo.nodes() {
+            let coords: Vec<u32> = (0..n).map(|d| topo.coord(node, d)).collect();
+            prop_assert_eq!(topo.node_at(&coords), node);
+            for c in coords {
+                prop_assert!(c < k);
+            }
+        }
+    }
+
+    /// Dimension-order routes always reach the destination in exactly the
+    /// minimal hop count, on meshes and tori alike.
+    #[test]
+    fn dor_routes_are_minimal(k in 2u32..9, wrap: bool, src_seed in 0usize..64, dst_seed in 0usize..64) {
+        let topo = if wrap { Topology::torus(k, 2) } else { Topology::mesh(k, 2) }.unwrap();
+        let src = src_seed % topo.num_nodes();
+        let dst = dst_seed % topo.num_nodes();
+        let mut at = src;
+        let mut hops = 0;
+        while at != dst {
+            let p = Routing::dor_port(&topo, at, dst);
+            let (next, _) = topo.downstream(at, p).expect("route stays on fabric");
+            at = next;
+            hops += 1;
+            prop_assert!(hops <= 2 * k, "runaway route");
+        }
+        prop_assert_eq!(hops, topo.distance(src, dst));
+    }
+
+    /// Every productive port strictly reduces distance to the destination.
+    #[test]
+    fn productive_ports_reduce_distance(src in 0usize..64, dst in 0usize..64) {
+        let topo = Topology::mesh(8, 2).unwrap();
+        for p in Routing::productive_ports(&topo, src, dst) {
+            let (next, _) = topo.downstream(src, p).expect("productive ports are wired");
+            prop_assert_eq!(topo.distance(next, dst) + 1, topo.distance(src, dst));
+        }
+    }
+
+    /// Wiring symmetry: following a port and coming back lands home.
+    #[test]
+    fn downstream_wiring_symmetry(k in 2u32..9, wrap: bool, node_seed in 0usize..128, port in 1usize..5) {
+        let topo = if wrap { Topology::torus(k, 2) } else { Topology::mesh(k, 2) }.unwrap();
+        let node = node_seed % topo.num_nodes();
+        if let Some((next, in_port)) = topo.downstream(node, port) {
+            let (back, back_in) = topo.downstream(next, in_port).expect("symmetric");
+            prop_assert_eq!(back, node);
+            prop_assert_eq!(back_in, port);
+        }
+    }
+
+    /// Interpolated VF tables keep frequency/voltage/power monotone and hit
+    /// their endpoint anchors for any sane parameters.
+    #[test]
+    fn vf_tables_are_monotone(
+        n in 2usize..16,
+        v_min in 0.5f64..1.5,
+        dv in 0.1f64..2.0,
+        p_min in 0.005f64..0.05,
+        dp in 0.01f64..0.5,
+    ) {
+        let table = VfTable::interpolated(n, v_min, v_min + dv, p_min, p_min + dp).unwrap();
+        prop_assert_eq!(table.len(), n);
+        let levels: Vec<_> = table.iter().collect();
+        for w in levels.windows(2) {
+            prop_assert!(w[1].freq_x9() > w[0].freq_x9());
+            prop_assert!(w[1].voltage_v() >= w[0].voltage_v());
+            prop_assert!(w[1].power_w() >= w[0].power_w());
+        }
+        prop_assert!((table.min().power_w() - p_min).abs() < 1e-9);
+        prop_assert!((table.max().power_w() - (p_min + dp)).abs() < 1e-9);
+    }
+
+    /// The channel state machine never loses track of its level under any
+    /// sequence of step requests and time advances, never reports a level
+    /// outside the table, and is non-operational only during locks.
+    #[test]
+    fn channel_state_machine_is_sound(ops in prop::collection::vec((0u8..3, 1u64..30_000), 1..60)) {
+        let mut ch = DvsChannel::new(
+            VfTable::paper(),
+            TransitionTiming::paper_conservative(),
+            RegulatorParams::paper(),
+            5,
+        );
+        let mut now = 0u64;
+        for (op, dt) in ops {
+            match op {
+                0 => { let _ = ch.request_step_up(now); }
+                1 => { let _ = ch.request_step_down(now); }
+                _ => {}
+            }
+            now += dt;
+            ch.advance(now);
+            prop_assert!(ch.level() < 10);
+            if ch.is_stable() {
+                prop_assert!(ch.is_operational());
+                prop_assert_eq!(ch.target_level(), None);
+                prop_assert_eq!(ch.busy_until(), None);
+            } else {
+                let t = ch.target_level().expect("transitioning channel has target");
+                // Up transitions hold the old frequency (diff 1) until the
+                // lock completes; down transitions reach the target
+                // frequency before the voltage ramp finishes (diff 0).
+                prop_assert!(ch.level().abs_diff(t) <= 1);
+                prop_assert!(ch.busy_until().expect("busy") > now || !ch.is_stable());
+            }
+        }
+        // Enough time settles any in-flight transition.
+        now += 100_000;
+        ch.advance(now);
+        prop_assert!(ch.is_stable());
+        // Energy is monotone and positive.
+        prop_assert!(ch.energy_total_at(now) > 0.0);
+        prop_assert!(ch.energy_total_at(now + 1) >= ch.energy_total_at(now));
+    }
+
+    /// Channel energy accounting: completed up/down round trips charge
+    /// exactly two Stratakos transition overheads.
+    #[test]
+    fn channel_round_trip_energy(level in 1usize..9) {
+        let table = VfTable::paper();
+        let mut ch = DvsChannel::new(
+            table.clone(),
+            TransitionTiming::paper_conservative(),
+            RegulatorParams::paper(),
+            level,
+        );
+        ch.request_step_down(0).unwrap();
+        ch.advance(200_000);
+        ch.request_step_up(200_000).unwrap();
+        ch.advance(400_000);
+        prop_assert_eq!(ch.level(), level);
+        let v1 = table.get(level - 1).unwrap().voltage_v();
+        let v2 = table.get(level).unwrap().voltage_v();
+        let expect = 2.0 * RegulatorParams::paper().transition_energy_j(v1, v2);
+        prop_assert!((ch.meter().transition_j() - expect).abs() < 1e-15);
+    }
+
+    /// Pareto samples respect the location bound and the empirical CDF
+    /// matches the analytic one at a checkpoint.
+    #[test]
+    fn pareto_samples_bounded(shape in 1.05f64..3.0, scale in 1.0f64..1e4, seed: u64) {
+        let p = Pareto::new(shape, scale);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let x = p.sample(&mut rng);
+            prop_assert!(x >= scale);
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    /// EWMA predictions stay within the range of their inputs.
+    #[test]
+    fn ewma_stays_in_input_hull(weight in 1u32..8, inputs in prop::collection::vec(0.0f64..1.0, 1..50)) {
+        let mut e = dvspolicy::Ewma::new(weight);
+        for &x in &inputs {
+            let p = e.update(x);
+            prop_assert!((0.0..=1.0).contains(&p), "prediction {p} escaped [0,1]");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the traffic pattern thrown at a small DVS network, flits
+    /// are conserved and the network drains completely. (Expensive: few
+    /// cases.)
+    #[test]
+    fn network_conserves_flits_under_random_traffic(
+        pairs in prop::collection::vec((0usize..16, 0usize..16), 10..150),
+        level in 0usize..10,
+    ) {
+        let mut cfg = netsim::NetworkConfig::paper_8x8();
+        cfg.topology = Topology::mesh(4, 2).unwrap();
+        cfg.initial_level = level;
+        cfg.timing = TransitionTiming::paper_aggressive();
+        let mut net = netsim::Network::with_policies(cfg, |_, _| {
+            Box::new(dvspolicy::HistoryDvsPolicy::new(dvspolicy::HistoryDvsConfig::paper()))
+        }).unwrap();
+        for (s, d) in &pairs {
+            net.inject(*s, *d);
+        }
+        let expected = pairs.len() as u64;
+        for _ in 0..300_000 {
+            net.step();
+            if net.stats().packets_delivered() == expected {
+                break;
+            }
+        }
+        prop_assert_eq!(net.stats().packets_delivered(), expected);
+        prop_assert_eq!(net.flits_in_network(), 0);
+        prop_assert_eq!(net.stats().flits_injected(), net.stats().flits_delivered());
+    }
+
+    /// Adaptive routing also delivers everything (escape-VC deadlock
+    /// freedom under random traffic).
+    #[test]
+    fn adaptive_routing_is_deadlock_free(
+        pairs in prop::collection::vec((0usize..16, 0usize..16), 50..200),
+    ) {
+        let mut cfg = netsim::NetworkConfig::paper_8x8();
+        cfg.topology = Topology::mesh(4, 2).unwrap();
+        cfg.routing = Routing::MinimalAdaptive;
+        let mut net = netsim::Network::new(cfg).unwrap();
+        for (s, d) in &pairs {
+            net.inject(*s, *d);
+        }
+        let expected = pairs.len() as u64;
+        for _ in 0..300_000 {
+            net.step();
+            if net.stats().packets_delivered() == expected {
+                break;
+            }
+        }
+        prop_assert_eq!(net.stats().packets_delivered(), expected);
+    }
+}
+
+#[test]
+fn direction_opposite_is_involution() {
+    assert_eq!(Direction::Pos.opposite().opposite(), Direction::Pos);
+    assert_eq!(Direction::Neg.opposite(), Direction::Pos);
+}
