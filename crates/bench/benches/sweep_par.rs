@@ -1,0 +1,37 @@
+//! Criterion benchmark of the parallel sweep runner: the same 8-point
+//! sweep executed serially and through `sweep_par` at increasing worker
+//! counts. The jobs=4 case should come in well under half the serial
+//! wall-clock on a 4+-core machine; jobs=1 measures the (small) scheduling
+//! overhead of the pooled path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use linkdvs::{sweep, sweep_par, ExperimentConfig, PolicyKind, WorkloadKind};
+use netsim::Topology;
+
+const RATES: [f64; 8] = [0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5];
+
+fn bench_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_baseline()
+        .with_run_lengths(2_000, 10_000)
+        .with_policy(PolicyKind::HistoryDvs(Default::default()));
+    cfg.network.topology = Topology::mesh(4, 2).unwrap();
+    cfg.workload = WorkloadKind::UniformRandom;
+    cfg
+}
+
+fn sweep_scaling(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut g = c.benchmark_group("sweep_par");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(RATES.len() as u64));
+    g.bench_function("serial_8pt", |b| b.iter(|| sweep(&cfg, &RATES)));
+    for jobs in [1usize, 2, 4] {
+        g.bench_function(format!("jobs{jobs}_8pt"), |b| {
+            b.iter(|| sweep_par(&cfg, &RATES, jobs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sweep_scaling);
+criterion_main!(benches);

@@ -9,66 +9,88 @@
 //! reactive ablation; weight 1 smooths the most and reacts slowest.
 
 use dvspolicy::{DualThresholds, HistoryDvsConfig};
-use linkdvs::{run_point, PolicyKind, WorkloadKind};
-use linkdvs_bench::{results_csv, FigureOpts};
+use linkdvs::{PolicyKind, WorkloadKind};
+use linkdvs_bench::{results_csv, run_labeled_points, FigureOpts};
+
+const WINDOWS: [u64; 6] = [50, 100, 200, 400, 800, 1600];
+const WEIGHTS: [u32; 4] = [1, 3, 7, 15];
 
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     let rate = 0.8;
     let base = opts.apply(
         linkdvs::ExperimentConfig::paper_baseline()
             .with_workload(WorkloadKind::paper_two_level_100()),
     );
-    let mut results = Vec::new();
+    // All variants go through one plan so they share the worker pool; the
+    // grouped tables below are printed from the regrouped results.
+    let mut series = Vec::new();
+    for window in WINDOWS {
+        series.push((
+            format!("H={window}"),
+            base.clone()
+                .with_policy(PolicyKind::HistoryDvs(HistoryDvsConfig {
+                    window,
+                    weight: 3,
+                    thresholds: DualThresholds::paper(),
+                })),
+        ));
+    }
+    for weight in WEIGHTS {
+        series.push((
+            format!("W={weight}"),
+            base.clone()
+                .with_policy(PolicyKind::HistoryDvs(HistoryDvsConfig {
+                    window: 200,
+                    weight,
+                    thresholds: DualThresholds::paper(),
+                })),
+        ));
+    }
+    series.push((
+        "target-utilization".to_string(),
+        base.clone().with_policy(PolicyKind::TargetUtilization),
+    ));
+    let points = run_labeled_points(&opts, "ablation_parameters", series, rate);
 
-    println!("== Ablation: history window H at {rate} pkt/cycle (W = 3) ==");
-    println!("{:<14} {:>10} {:>10} {:>9}", "H (cycles)", "latency", "power_W", "savings");
-    for window in [50u64, 100, 200, 400, 800, 1600] {
-        let cfg = base.clone().with_policy(PolicyKind::HistoryDvs(HistoryDvsConfig {
-            window,
-            weight: 3,
-            thresholds: DualThresholds::paper(),
-        }));
-        let r = run_point(&cfg, rate);
+    let row = |name: &str, r: &linkdvs::RunResult| {
         println!(
             "{:<14} {:>10.0} {:>10.1} {:>8.2}x",
-            window,
+            name,
             r.avg_latency_cycles.unwrap_or(f64::NAN),
             r.avg_power_w,
             r.power_savings
         );
-        results.push((format!("H={window}"), vec![r]));
+    };
+
+    println!("== Ablation: history window H at {rate} pkt/cycle (W = 3) ==");
+    println!(
+        "{:<14} {:>10} {:>10} {:>9}",
+        "H (cycles)", "latency", "power_W", "savings"
+    );
+    let mut results = Vec::new();
+    let mut iter = points.into_iter();
+    for window in WINDOWS {
+        let (label, r) = iter.next().expect("one point per window");
+        row(&window.to_string(), &r);
+        results.push((label, vec![r]));
     }
 
     println!("\n== Ablation: EWMA weight W at {rate} pkt/cycle (H = 200) ==");
-    println!("{:<14} {:>10} {:>10} {:>9}", "W", "latency", "power_W", "savings");
-    for weight in [1u32, 3, 7, 15] {
-        let cfg = base.clone().with_policy(PolicyKind::HistoryDvs(HistoryDvsConfig {
-            window: 200,
-            weight,
-            thresholds: DualThresholds::paper(),
-        }));
-        let r = run_point(&cfg, rate);
-        println!(
-            "{:<14} {:>10.0} {:>10.1} {:>8.2}x",
-            weight,
-            r.avg_latency_cycles.unwrap_or(f64::NAN),
-            r.avg_power_w,
-            r.power_savings
-        );
-        results.push((format!("W={weight}"), vec![r]));
+    println!(
+        "{:<14} {:>10} {:>10} {:>9}",
+        "W", "latency", "power_W", "savings"
+    );
+    for weight in WEIGHTS {
+        let (label, r) = iter.next().expect("one point per weight");
+        row(&weight.to_string(), &r);
+        results.push((label, vec![r]));
     }
 
     println!("\n== Extension: target-utilization policy at the same load ==");
-    let r = run_point(&base.clone().with_policy(PolicyKind::TargetUtilization), rate);
-    println!(
-        "{:<14} {:>10.0} {:>10.1} {:>8.2}x",
-        "target-util",
-        r.avg_latency_cycles.unwrap_or(f64::NAN),
-        r.avg_power_w,
-        r.power_savings
-    );
-    results.push(("target-utilization".to_string(), vec![r]));
+    let (label, r) = iter.next().expect("target-utilization point");
+    row("target-util", &r);
+    results.push((label, vec![r]));
 
     opts.write_artifact("ablation_parameters.csv", &results_csv(&results));
 }

@@ -6,35 +6,34 @@
 //! and transition energy) for little power benefit; dynamic thresholds
 //! track the history policy while shifting along the Fig. 15 frontier.
 
-use linkdvs::{sweep, PolicyKind, WorkloadKind};
-use linkdvs_bench::{coarse_rates, format_results_table, results_csv, FigureOpts};
+use linkdvs::{PolicyKind, WorkloadKind};
+use linkdvs_bench::{
+    coarse_rates, format_results_table, results_csv, run_labeled_sweeps, FigureOpts,
+};
 
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     let rates = coarse_rates();
     let base = opts.apply(
         linkdvs::ExperimentConfig::paper_baseline()
             .with_workload(WorkloadKind::paper_two_level_100()),
     );
-    let results = vec![
+    let series = vec![
         (
             "history-based".to_string(),
-            sweep(
-                &base
-                    .clone()
-                    .with_policy(PolicyKind::HistoryDvs(Default::default())),
-                &rates,
-            ),
+            base.clone()
+                .with_policy(PolicyKind::HistoryDvs(Default::default())),
         ),
         (
             "reactive (no history)".to_string(),
-            sweep(&base.clone().with_policy(PolicyKind::Reactive), &rates),
+            base.clone().with_policy(PolicyKind::Reactive),
         ),
         (
             "dynamic thresholds".to_string(),
-            sweep(&base.with_policy(PolicyKind::DynamicThresholds), &rates),
+            base.with_policy(PolicyKind::DynamicThresholds),
         ),
     ];
+    let results = run_labeled_sweeps(&opts, "ablation_policies", series, &rates);
     print!(
         "{}",
         format_results_table("Ablation: policy variants", &results)

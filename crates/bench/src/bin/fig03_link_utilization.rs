@@ -11,7 +11,7 @@ use netsim::{ChannelProbe, Network, NetworkConfig};
 use trafficgen::{TaskModelConfig, TaskWorkload, Workload};
 
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     // Loads rising into congestion; (d) is past the saturation knee.
     let loads = [
         (0.3, "(a) low"),

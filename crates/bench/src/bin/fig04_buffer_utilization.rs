@@ -11,7 +11,7 @@ use netsim::{ChannelProbe, Network, NetworkConfig};
 use trafficgen::{TaskModelConfig, TaskWorkload, Workload};
 
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     let loads = [(0.3, "(a) low"), (2.0, "(b) high"), (3.2, "(c) congested")];
     let mut csv = String::from("panel,offered_rate,bu_bin,count\n");
     for (rate, label) in loads {

@@ -11,7 +11,7 @@ use netsim::{ChannelProbe, Network, NetworkConfig};
 use trafficgen::{TaskModelConfig, TaskWorkload, Workload};
 
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     let loads = [(0.3, "(a) low"), (2.0, "(b) high"), (3.2, "(c) congested")];
     let mut csv = String::from("panel,offered_rate,age_bin_cycles,count\n");
     for (rate, label) in loads {
@@ -49,7 +49,7 @@ fn main() {
             }
         }
         // Log-spaced bins 1..=4096 cycles.
-        let mut bins = vec![0usize; 13];
+        let mut bins = [0usize; 13];
         for &a in &ages {
             let i = (a.max(1.0).log2().floor() as usize).min(12);
             bins[i] += 1;

@@ -12,7 +12,7 @@ use dvslink::{RouterPowerBudget, RouterPowerComponent};
 use linkdvs_bench::FigureOpts;
 
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     let b = RouterPowerBudget::paper();
     println!("== Fig 7: router power distribution ==");
     println!("{:<14} {:>9} {:>8}", "component", "power_W", "share");

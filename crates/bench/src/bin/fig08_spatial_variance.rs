@@ -34,7 +34,7 @@ fn heat(topo: &Topology, counts: &[u64]) -> String {
 }
 
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     let topo = Topology::mesh(8, 2).expect("valid");
     let window = opts.cycles(500_000);
 

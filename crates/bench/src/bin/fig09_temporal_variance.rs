@@ -10,7 +10,7 @@ use netsim::Topology;
 use trafficgen::{rs_hurst, variance_time_hurst, TaskModelConfig, TaskWorkload, Workload};
 
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     let topo = Topology::mesh(8, 2).expect("valid");
     let mut wl = TaskWorkload::new(TaskModelConfig::paper_100_tasks(), &topo, 1.0, opts.seed);
     let node = 27;

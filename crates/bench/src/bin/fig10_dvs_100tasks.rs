@@ -6,29 +6,33 @@
 //! at light load (the paper reports up to 6.3X savings, 4.6X average) and
 //! climbs back toward 1.0 as load pushes links to their top levels.
 
-use linkdvs::{sweep, PolicyKind, SweepSummary, WorkloadKind};
-use linkdvs_bench::{format_results_table, results_csv, sweep_rates, FigureOpts};
+use linkdvs::{PolicyKind, SweepSummary, WorkloadKind};
+use linkdvs_bench::{
+    format_results_table, results_csv, run_labeled_sweeps, sweep_rates, FigureOpts,
+};
 
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     let rates = sweep_rates();
     let base = opts.apply(
         linkdvs::ExperimentConfig::paper_baseline()
             .with_workload(WorkloadKind::paper_two_level_100()),
     );
-    let results = vec![
-        (
-            "without DVS".to_string(),
-            sweep(&base.clone().with_policy(PolicyKind::NoDvs), &rates),
-        ),
-        (
-            "history-based DVS".to_string(),
-            sweep(
-                &base.with_policy(PolicyKind::HistoryDvs(Default::default())),
-                &rates,
+    let results = run_labeled_sweeps(
+        &opts,
+        "fig10_dvs_100tasks",
+        vec![
+            (
+                "without DVS".to_string(),
+                base.clone().with_policy(PolicyKind::NoDvs),
             ),
-        ),
-    ];
+            (
+                "history-based DVS".to_string(),
+                base.with_policy(PolicyKind::HistoryDvs(Default::default())),
+            ),
+        ],
+        &rates,
+    );
     print!(
         "{}",
         format_results_table("Fig 10: DVS vs non-DVS, 100 tasks", &results)

@@ -4,29 +4,33 @@
 //! paper reports up to 6.4X, 4.9X average) and lower saturation throughput
 //! due to higher traffic imbalance — fewer, fatter flows.
 
-use linkdvs::{sweep, PolicyKind, SweepSummary, WorkloadKind};
-use linkdvs_bench::{format_results_table, results_csv, sweep_rates, FigureOpts};
+use linkdvs::{PolicyKind, SweepSummary, WorkloadKind};
+use linkdvs_bench::{
+    format_results_table, results_csv, run_labeled_sweeps, sweep_rates, FigureOpts,
+};
 
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     let rates = sweep_rates();
     let base = opts.apply(
         linkdvs::ExperimentConfig::paper_baseline()
             .with_workload(WorkloadKind::paper_two_level_50()),
     );
-    let results = vec![
-        (
-            "without DVS".to_string(),
-            sweep(&base.clone().with_policy(PolicyKind::NoDvs), &rates),
-        ),
-        (
-            "history-based DVS".to_string(),
-            sweep(
-                &base.with_policy(PolicyKind::HistoryDvs(Default::default())),
-                &rates,
+    let results = run_labeled_sweeps(
+        &opts,
+        "fig11_dvs_50tasks",
+        vec![
+            (
+                "without DVS".to_string(),
+                base.clone().with_policy(PolicyKind::NoDvs),
             ),
-        ),
-    ];
+            (
+                "history-based DVS".to_string(),
+                base.with_policy(PolicyKind::HistoryDvs(Default::default())),
+            ),
+        ],
+        &rates,
+    );
     print!(
         "{}",
         format_results_table("Fig 11: DVS vs non-DVS, 50 tasks", &results)

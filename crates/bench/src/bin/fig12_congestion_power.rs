@@ -6,11 +6,11 @@
 //! credit-starved links feeding congested routers, so only the saturated
 //! network gets cheaper, exactly the paper's counterintuitive observation.
 
-use linkdvs::{sweep, PolicyKind, WorkloadKind};
-use linkdvs_bench::{format_results_table, results_csv, FigureOpts};
+use linkdvs::{PolicyKind, WorkloadKind};
+use linkdvs_bench::{format_results_table, results_csv, run_labeled_sweeps, FigureOpts};
 
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     // Drive well past the non-DVS saturation point (~2.4 offered).
     let rates = [0.4, 0.8, 1.2, 1.6, 2.0, 2.4, 2.8, 3.2, 3.6, 4.0];
     let base = opts.apply(
@@ -18,7 +18,12 @@ fn main() {
             .with_workload(WorkloadKind::paper_two_level_100())
             .with_policy(PolicyKind::HistoryDvs(Default::default())),
     );
-    let results = vec![("history-based DVS".to_string(), sweep(&base, &rates))];
+    let results = run_labeled_sweeps(
+        &opts,
+        "fig12_congestion_power",
+        vec![("history-based DVS".to_string(), base)],
+        &rates,
+    );
     print!(
         "{}",
         format_results_table("Fig 12: power and throughput beyond saturation", &results)

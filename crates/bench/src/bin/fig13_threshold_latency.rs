@@ -5,25 +5,30 @@
 //! is closest to the non-DVS curve.
 
 use dvspolicy::HistoryDvsConfig;
-use linkdvs::{sweep, PolicyKind, WorkloadKind};
-use linkdvs_bench::{coarse_rates, format_results_table, results_csv, FigureOpts};
+use linkdvs::{PolicyKind, WorkloadKind};
+use linkdvs_bench::{
+    coarse_rates, format_results_table, results_csv, run_labeled_sweeps, FigureOpts,
+};
 
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     let rates = coarse_rates();
     let base = opts.apply(
         linkdvs::ExperimentConfig::paper_baseline()
             .with_workload(WorkloadKind::paper_two_level_100()),
     );
-    let mut results = Vec::new();
-    for setting in 1..=6 {
-        let cfg = base
-            .clone()
-            .with_policy(PolicyKind::HistoryDvs(HistoryDvsConfig::paper_table2(
-                setting,
-            )));
-        results.push((format!("setting {setting} (Table 2)"), sweep(&cfg, &rates)));
-    }
+    let series = (1..=6)
+        .map(|setting| {
+            (
+                format!("setting {setting} (Table 2)"),
+                base.clone()
+                    .with_policy(PolicyKind::HistoryDvs(HistoryDvsConfig::paper_table2(
+                        setting,
+                    ))),
+            )
+        })
+        .collect();
+    let results = run_labeled_sweeps(&opts, "fig13_threshold_latency", series, &rates);
     print!(
         "{}",
         format_results_table("Fig 13: latency under threshold settings I-VI", &results)

@@ -6,27 +6,33 @@
 //! vice versa; no setting dominates another.
 
 use dvspolicy::HistoryDvsConfig;
-use linkdvs::{run_point, PolicyKind, WorkloadKind};
-use linkdvs_bench::{results_csv, FigureOpts};
+use linkdvs::{PolicyKind, WorkloadKind};
+use linkdvs_bench::{results_csv, run_labeled_points, FigureOpts};
 
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     let rate = 1.7;
     let base = opts.apply(
         linkdvs::ExperimentConfig::paper_baseline()
             .with_workload(WorkloadKind::paper_two_level_100()),
     );
+    let series = (1..=6)
+        .map(|setting| {
+            (
+                format!("setting {setting}"),
+                base.clone()
+                    .with_policy(PolicyKind::HistoryDvs(HistoryDvsConfig::paper_table2(
+                        setting,
+                    ))),
+            )
+        })
+        .collect();
+    let points_by_setting = run_labeled_points(&opts, "fig15_pareto", series, rate);
     println!("== Fig 15: latency vs power savings at {rate} pkt/cycle ==");
     println!("{:<12} {:>10} {:>10}", "setting", "latency", "savings");
     let mut results = Vec::new();
     let mut points = Vec::new();
-    for setting in 1..=6 {
-        let cfg = base
-            .clone()
-            .with_policy(PolicyKind::HistoryDvs(HistoryDvsConfig::paper_table2(
-                setting,
-            )));
-        let r = run_point(&cfg, rate);
+    for (setting, (label, r)) in (1..=6).zip(points_by_setting) {
         println!(
             "{:<12} {:>10.0} {:>9.2}x",
             format!("{setting} (I-VI)"),
@@ -34,7 +40,7 @@ fn main() {
             r.power_savings
         );
         points.push((r.avg_latency_cycles.unwrap_or(f64::NAN), r.power_savings));
-        results.push((format!("setting {setting}"), vec![r]));
+        results.push((label, vec![r]));
     }
     // Frontier check: savings should rise with latency along the curve.
     let mut sorted = points.clone();

@@ -10,12 +10,16 @@
 //!   to cut throughput.
 
 use dvslink::TransitionTiming;
-use linkdvs::{sweep, PolicyKind, WorkloadKind};
-use linkdvs_bench::{coarse_rates, format_results_table, results_csv, FigureOpts};
+use linkdvs::{PolicyKind, WorkloadKind};
+use linkdvs_bench::{
+    coarse_rates, format_results_table, results_csv, run_labeled_sweeps, FigureOpts,
+};
 use trafficgen::TaskModelConfig;
 
+const RAMPS_US: [u64; 3] = [10, 5, 1];
+
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     let rates = coarse_rates();
     let panels = [
         ("(a) task 1ms, lock 100", 1_000_000u64, 100u32),
@@ -23,10 +27,11 @@ fn main() {
         ("(c) task 1ms, lock 10", 1_000_000, 10),
         ("(d) task 10us, lock 10", 10_000, 10),
     ];
-    let mut all = Vec::new();
+    // One plan holding every panel x ramp series: all 12 curves fan out
+    // across the worker pool together instead of panel by panel.
+    let mut series = Vec::new();
     for (panel, duration, lock) in panels {
-        let mut results = Vec::new();
-        for ramp_us in [10u64, 5, 1] {
+        for ramp_us in RAMPS_US {
             let mut cfg = opts.apply(
                 linkdvs::ExperimentConfig::paper_baseline()
                     .with_policy(PolicyKind::HistoryDvs(Default::default()))
@@ -35,16 +40,18 @@ fn main() {
                     )),
             );
             cfg.network.timing = TransitionTiming::new(ramp_us * 1_000, lock);
-            results.push((format!("{panel} ramp {ramp_us}us"), sweep(&cfg, &rates)));
+            series.push((format!("{panel} ramp {ramp_us}us"), cfg));
         }
+    }
+    let all = run_labeled_sweeps(&opts, "fig16_voltage_transition", series, &rates);
+    for (chunk, (panel, _, _)) in all.chunks(RAMPS_US.len()).zip(panels) {
         print!(
             "{}",
             format_results_table(
                 &format!("Fig 16{panel}: voltage-transition sensitivity"),
-                &results
+                chunk
             )
         );
-        all.extend(results);
     }
     opts.write_artifact("fig16_voltage_transition.csv", &results_csv(&all));
 }

@@ -7,12 +7,16 @@
 //! traffic and throughput degrades.
 
 use dvslink::TransitionTiming;
-use linkdvs::{sweep, PolicyKind, WorkloadKind};
-use linkdvs_bench::{coarse_rates, format_results_table, results_csv, FigureOpts};
+use linkdvs::{PolicyKind, WorkloadKind};
+use linkdvs_bench::{
+    coarse_rates, format_results_table, results_csv, run_labeled_sweeps, FigureOpts,
+};
 use trafficgen::TaskModelConfig;
 
+const LOCKS: [u32; 3] = [100, 50, 10];
+
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     let rates = coarse_rates();
     let panels = [
         ("(a) task 1ms, ramp 10us", 1_000_000u64, 10_000u64),
@@ -20,10 +24,11 @@ fn main() {
         ("(c) task 1ms, ramp 1us", 1_000_000, 1_000),
         ("(d) task 10us, ramp 1us", 10_000, 1_000),
     ];
-    let mut all = Vec::new();
+    // As in Fig. 16: every panel x lock series goes into one plan so the
+    // whole figure shares the worker pool.
+    let mut series = Vec::new();
     for (panel, duration, ramp) in panels {
-        let mut results = Vec::new();
-        for lock in [100u32, 50, 10] {
+        for lock in LOCKS {
             let mut cfg = opts.apply(
                 linkdvs::ExperimentConfig::paper_baseline()
                     .with_policy(PolicyKind::HistoryDvs(Default::default()))
@@ -32,16 +37,18 @@ fn main() {
                     )),
             );
             cfg.network.timing = TransitionTiming::new(ramp, lock);
-            results.push((format!("{panel} lock {lock}"), sweep(&cfg, &rates)));
+            series.push((format!("{panel} lock {lock}"), cfg));
         }
+    }
+    let all = run_labeled_sweeps(&opts, "fig17_frequency_transition", series, &rates);
+    for (chunk, (panel, _, _)) in all.chunks(LOCKS.len()).zip(panels) {
         print!(
             "{}",
             format_results_table(
                 &format!("Fig 17{panel}: frequency-transition sensitivity"),
-                &results
+                chunk
             )
         );
-        all.extend(results);
     }
     opts.write_artifact("fig17_frequency_transition.csv", &results_csv(&all));
 }

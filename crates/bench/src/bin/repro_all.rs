@@ -1,8 +1,16 @@
 //! Run every figure/table regeneration binary in sequence, forwarding the
 //! common options. `repro_all --quick --out results` smoke-runs the whole
 //! evaluation in minutes; without `--quick` it reproduces the full curves.
+//! Pass `--jobs N` to parallelize the sweeps inside each figure binary, and
+//! `--progress` for per-point progress lines.
+//!
+//! Writes `repro_all_telemetry.jsonl` (one record per binary with its
+//! wall-clock and exit status) next to the CSV artifacts when `--out` is
+//! given.
 
+use linkdvs_bench::FigureOpts;
 use std::process::Command;
+use std::time::Instant;
 
 const BINS: &[&str] = &[
     "fig03_link_utilization",
@@ -25,25 +33,42 @@ const BINS: &[&str] = &[
 ];
 
 fn main() {
+    // Validate the forwarded flags up front so a typo fails fast here
+    // instead of seventeen times in the children.
+    let opts = FigureOpts::from_env_or_exit();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let exe_dir = std::env::current_exe()
         .expect("current executable path")
         .parent()
         .expect("executable has a parent directory")
         .to_path_buf();
+    let total = Instant::now();
     let mut failures = Vec::new();
+    let mut telemetry = String::new();
     for bin in BINS {
         println!("\n################ {bin} ################");
+        let start = Instant::now();
         let status = Command::new(exe_dir.join(bin))
             .args(&args)
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        let wall_s = start.elapsed().as_secs_f64();
+        println!("---- {bin}: {wall_s:.2}s ----");
+        telemetry.push_str(&format!(
+            "{{\"bin\":\"{bin}\",\"wall_s\":{wall_s:.6},\"ok\":{}}}\n",
+            status.success()
+        ));
         if !status.success() {
             failures.push(*bin);
         }
     }
+    opts.write_artifact("repro_all_telemetry.jsonl", &telemetry);
     if failures.is_empty() {
-        println!("\nall {} figure/table targets regenerated", BINS.len());
+        println!(
+            "\nall {} figure/table targets regenerated in {:.1}s",
+            BINS.len(),
+            total.elapsed().as_secs_f64()
+        );
     } else {
         eprintln!("\nFAILED: {failures:?}");
         std::process::exit(1);

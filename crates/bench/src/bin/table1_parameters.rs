@@ -5,7 +5,7 @@ use dvspolicy::{HardwareCost, HistoryDvsConfig};
 use linkdvs_bench::FigureOpts;
 
 fn main() {
-    let opts = FigureOpts::from_args();
+    let opts = FigureOpts::from_env_or_exit();
     let c = HistoryDvsConfig::paper();
     let t = &c.thresholds;
     println!("== Table 1: history-based DVS policy parameters ==");

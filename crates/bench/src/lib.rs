@@ -5,53 +5,124 @@
 //! and, when `--out <dir>` is given, writes the same series as CSV. The
 //! `--quick` flag shrinks run lengths ~8x for smoke runs (CI, `repro_all
 //! --quick`); default lengths regenerate stable curve shapes in minutes.
+//! Sweep points fan out across a worker pool (`--jobs <n>`, default one
+//! worker per CPU) with results bit-identical to a serial run; `--progress`
+//! streams per-point completion lines to stderr, and under `--out` each
+//! sweep also records a `*_telemetry.jsonl` observability artifact.
 
+use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use linkdvs::{ExperimentConfig, RunResult};
+use linkdvs::{ExperimentConfig, RunResult, RunTelemetry, SweepPlan};
+
+/// The flags every figure binary accepts.
+pub const USAGE: &str =
+    "usage: <figure-bin> [--quick] [--out <dir>] [--seed <n>] [--jobs <n>] [--progress]";
+
+/// A rejected command line: what was wrong with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
 
 /// Command-line options shared by all figure binaries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureOpts {
     /// Shrink run lengths for a fast smoke run.
     pub quick: bool,
-    /// Directory to write CSV series into (`None` = stdout only).
+    /// Directory to write CSV/telemetry series into (`None` = stdout only).
     pub out_dir: Option<PathBuf>,
     /// Root RNG seed.
     pub seed: u64,
+    /// Sweep worker count (`--jobs`): 0 = one worker per available CPU.
+    pub jobs: usize,
+    /// Stream per-point progress to stderr as points complete.
+    pub progress: bool,
 }
 
-impl FigureOpts {
-    /// Parse from `std::env::args`. Unknown arguments abort with a usage
-    /// message.
-    pub fn from_args() -> Self {
-        let mut opts = Self {
+impl Default for FigureOpts {
+    fn default() -> Self {
+        Self {
             quick: false,
             out_dir: None,
             seed: 0x11d5,
-        };
-        let mut args = std::env::args().skip(1);
+            jobs: 0,
+            progress: false,
+        }
+    }
+}
+
+impl FigureOpts {
+    /// Parse from an argument iterator (exclusive of the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`UsageError`] naming the offending argument when one is
+    /// unknown, missing its value, or malformed.
+    pub fn parse_from<I>(args: I) -> Result<Self, UsageError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut opts = Self::default();
+        let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => opts.quick = true,
+                "--progress" => opts.progress = true,
                 "--out" => {
                     let dir = args
                         .next()
-                        .unwrap_or_else(|| usage("--out needs a directory"));
+                        .ok_or_else(|| UsageError("--out needs a directory".into()))?;
                     opts.out_dir = Some(PathBuf::from(dir));
                 }
                 "--seed" => {
-                    let s = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    let s = args
+                        .next()
+                        .ok_or_else(|| UsageError("--seed needs a value".into()))?;
                     opts.seed = s
                         .parse()
-                        .unwrap_or_else(|_| usage("--seed must be an integer"));
+                        .map_err(|_| UsageError("--seed must be an integer".into()))?;
                 }
-                other => usage(&format!("unknown argument {other}")),
+                "--jobs" => {
+                    let s = args
+                        .next()
+                        .ok_or_else(|| UsageError("--jobs needs a value".into()))?;
+                    opts.jobs = s
+                        .parse()
+                        .map_err(|_| UsageError("--jobs must be an integer".into()))?;
+                }
+                other => return Err(UsageError(format!("unknown argument {other}"))),
             }
         }
-        opts
+        Ok(opts)
+    }
+
+    /// Parse from `std::env::args`.
+    ///
+    /// # Errors
+    ///
+    /// As [`parse_from`](Self::parse_from).
+    pub fn from_args() -> Result<Self, UsageError> {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from `std::env::args`, printing the error and usage line and
+    /// exiting with status 2 on a bad command line — the figure binaries'
+    /// entry point.
+    pub fn from_env_or_exit() -> Self {
+        Self::from_args().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        })
     }
 
     /// Apply the quick/seed options to an experiment configuration.
@@ -84,10 +155,69 @@ impl FigureOpts {
     }
 }
 
-fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("usage: <figure-bin> [--quick] [--out <dir>] [--seed <n>]");
-    std::process::exit(2);
+/// Run labeled sweep series — the body of every curve-style figure binary.
+///
+/// Builds one [`SweepPlan`] from `series` × `rates`, fans it across
+/// `opts.jobs` workers (bit-identical to serial execution), streams
+/// per-point progress to stderr under `--progress`, writes the telemetry
+/// JSON-lines artifact `<slug>_telemetry.jsonl` next to the CSVs under
+/// `--out`, and returns the labeled results ready for
+/// [`format_results_table`]/[`results_csv`].
+pub fn run_labeled_sweeps(
+    opts: &FigureOpts,
+    slug: &str,
+    series: Vec<(String, ExperimentConfig)>,
+    rates: &[f64],
+) -> Vec<(String, Vec<RunResult>)> {
+    let mut plan = SweepPlan::new();
+    let mut labels = Vec::with_capacity(series.len());
+    for (label, cfg) in series {
+        plan.push_series(cfg, rates);
+        labels.push(label);
+    }
+    let total = plan.len();
+    let progress_cb = |t: &RunTelemetry| {
+        eprintln!(
+            "[{:>3}/{total}] {} @ {:.2} pkt/cycle: {:.2}s, {:.2} Mcycles/s (worker {})",
+            t.global_index + 1,
+            labels[t.series],
+            t.offered_rate,
+            t.wall_s,
+            t.cycles_per_sec / 1e6,
+            t.worker,
+        );
+    };
+    let progress: Option<&linkdvs::ProgressFn<'_>> = if opts.progress {
+        Some(&progress_cb)
+    } else {
+        None
+    };
+    let outcomes = plan.run(opts.jobs, progress);
+
+    let mut jsonl = String::new();
+    let mut grouped: Vec<Vec<RunResult>> = (0..plan.num_series()).map(|_| Vec::new()).collect();
+    for (outcome, point) in outcomes.into_iter().zip(plan.points()) {
+        jsonl.push_str(&outcome.telemetry.to_json());
+        jsonl.push('\n');
+        grouped[point.series].push(outcome.result);
+    }
+    opts.write_artifact(&format!("{slug}_telemetry.jsonl"), &jsonl);
+    labels.into_iter().zip(grouped).collect()
+}
+
+/// [`run_labeled_sweeps`] for single-point series — figures that place one
+/// configuration at one offered rate per curve (Fig. 15, the parameter
+/// ablation).
+pub fn run_labeled_points(
+    opts: &FigureOpts,
+    slug: &str,
+    series: Vec<(String, ExperimentConfig)>,
+    rate: f64,
+) -> Vec<(String, RunResult)> {
+    run_labeled_sweeps(opts, slug, series, &[rate])
+        .into_iter()
+        .map(|(label, mut rs)| (label, rs.remove(0)))
+        .collect()
 }
 
 /// The injection-rate grid used by the latency/power sweeps (Figs. 10–12).
@@ -229,5 +359,68 @@ mod tests {
         assert!(r.windows(2).all(|w| w[0] < w[1]));
         let c = coarse_rates();
         assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    fn parse(args: &[&str]) -> Result<FigureOpts, UsageError> {
+        FigureOpts::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts, FigureOpts::default());
+        assert!(!opts.quick);
+        assert!(!opts.progress);
+        assert_eq!(opts.seed, 0x11d5);
+        assert_eq!(opts.jobs, 0);
+        assert_eq!(opts.out_dir, None);
+    }
+
+    #[test]
+    fn parse_all_flags() {
+        let opts = parse(&[
+            "--quick",
+            "--out",
+            "results/ci",
+            "--seed",
+            "42",
+            "--jobs",
+            "8",
+            "--progress",
+        ])
+        .unwrap();
+        assert!(opts.quick);
+        assert!(opts.progress);
+        assert_eq!(opts.seed, 42);
+        assert_eq!(opts.jobs, 8);
+        assert_eq!(
+            opts.out_dir.as_deref(),
+            Some(std::path::Path::new("results/ci"))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        for (args, needle) in [
+            (&["--frobnicate"][..], "unknown argument --frobnicate"),
+            (&["--seed"][..], "--seed needs a value"),
+            (&["--seed", "banana"][..], "--seed must be an integer"),
+            (&["--jobs"][..], "--jobs needs a value"),
+            (&["--jobs", "-1"][..], "--jobs must be an integer"),
+            (&["--out"][..], "--out needs a directory"),
+        ] {
+            let err = parse(args).unwrap_err();
+            assert_eq!(err.to_string(), needle, "args: {args:?}");
+        }
+    }
+
+    #[test]
+    fn quick_scales_run_lengths() {
+        let opts = parse(&["--quick", "--seed", "7"]).unwrap();
+        let cfg = opts.apply(linkdvs::ExperimentConfig::paper_baseline());
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.warmup_cycles, 600_000 / 8);
+        assert_eq!(cfg.measure_cycles, 400_000 / 8);
+        assert_eq!(opts.cycles(800), 100);
     }
 }

@@ -34,9 +34,7 @@ impl PolicyKind {
             PolicyKind::HistoryDvs(cfg) => Box::new(HistoryDvsPolicy::new(cfg.clone())),
             PolicyKind::Reactive => Box::new(ReactiveDvsPolicy::paper()),
             PolicyKind::DynamicThresholds => Box::new(DynamicThresholdPolicy::paper()),
-            PolicyKind::TargetUtilization => {
-                Box::new(TargetUtilizationPolicy::paper_comparable())
-            }
+            PolicyKind::TargetUtilization => Box::new(TargetUtilizationPolicy::paper_comparable()),
         }
     }
 

@@ -14,6 +14,12 @@
 //!   and [`SweepSummary`] derives the headline numbers (zero-load latency,
 //!   saturation point, average pre-saturation latency increase, average and
 //!   peak power savings).
+//! - [`SweepPlan`] batches many `(config, rate)` points — whole figures at
+//!   a time — and fans them across a worker pool ([`sweep_par`] is the
+//!   one-series shorthand). Per-point seeds derive only from the point's
+//!   identity, so parallel and serial execution are bit-identical, and
+//!   each point yields a [`RunTelemetry`] record (wall-clock, simulated
+//!   cycles/sec, worker id) for run observability.
 //!
 //! # Example
 //!
@@ -35,11 +41,15 @@
 #![warn(missing_docs)]
 
 mod experiment;
+mod plan;
 mod result;
 mod runner;
+mod telemetry;
 
 pub use experiment::{ExperimentConfig, PolicyKind, WorkloadKind};
+pub use plan::{sweep_par, PointOutcome, ProgressFn, SweepPlan, SweepPoint};
 pub use result::{write_csv, RunResult, SweepSummary};
-pub use runner::{run_point, sweep, zero_load_latency};
+pub use runner::{run_point, run_point_indexed, sweep, zero_load_latency};
+pub use telemetry::{write_telemetry_jsonl, RunTelemetry};
 
 pub use dvslink::Cycles;

@@ -1,0 +1,315 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+use crate::runner::run_point_indexed;
+use crate::{ExperimentConfig, RunResult, RunTelemetry};
+
+/// Callback invoked as each sweep point finishes (possibly from a worker
+/// thread; completion order is nondeterministic under parallel execution,
+/// results are not).
+pub type ProgressFn<'a> = dyn Fn(&RunTelemetry) + Sync + 'a;
+
+/// One operating point scheduled by a [`SweepPlan`]: a fully specified
+/// experiment at one offered rate, tagged with its series and position.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Index of the series this point belongs to (plan construction order).
+    pub series: usize,
+    /// Position within its series — the index [`run_point_indexed`] derives
+    /// the workload seed from, so a point's results do not depend on what
+    /// else is in the plan.
+    pub index: usize,
+    /// The experiment configuration.
+    pub cfg: ExperimentConfig,
+    /// Offered injection rate, packets/cycle.
+    pub offered_rate: f64,
+}
+
+/// The paired measurement and observability record of one executed point.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// The paper metrics of the point.
+    pub result: RunResult,
+    /// Execution telemetry (wall-clock, worker, simulation speed).
+    pub telemetry: RunTelemetry,
+}
+
+/// A batch of sweep points executed together, serially or across a worker
+/// pool, with bit-identical results either way.
+///
+/// The plan is the unit the figure binaries hand to the runner: each
+/// labeled curve of a figure becomes one *series* (an [`ExperimentConfig`]
+/// crossed with a rate grid), and the plan fans every point of every
+/// series out across `jobs` workers. Per-point workload seeds derive only
+/// from `(cfg.seed, rate, index-within-series)`, so a series run through a
+/// plan equals the same series run through [`sweep`](crate::sweep) alone,
+/// element for element.
+///
+/// # Example
+///
+/// ```no_run
+/// use linkdvs::{ExperimentConfig, PolicyKind, SweepPlan};
+///
+/// let base = ExperimentConfig::paper_baseline();
+/// let mut plan = SweepPlan::new();
+/// plan.push_series(base.clone(), &[0.2, 0.8, 1.4]);
+/// plan.push_series(
+///     base.with_policy(PolicyKind::HistoryDvs(Default::default())),
+///     &[0.2, 0.8, 1.4],
+/// );
+/// let series = plan.run_into_series(4, None);
+/// assert_eq!(series.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SweepPlan {
+    points: Vec<SweepPoint>,
+    num_series: usize,
+}
+
+impl SweepPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A plan holding a single rate sweep of one configuration.
+    pub fn single(cfg: ExperimentConfig, rates: &[f64]) -> Self {
+        let mut plan = Self::new();
+        plan.push_series(cfg, rates);
+        plan
+    }
+
+    /// Append one series (a configuration swept over `rates`), returning
+    /// its series index.
+    pub fn push_series(&mut self, cfg: ExperimentConfig, rates: &[f64]) -> usize {
+        let series = self.num_series;
+        self.num_series += 1;
+        self.points.extend(
+            rates
+                .iter()
+                .enumerate()
+                .map(|(index, &offered_rate)| SweepPoint {
+                    series,
+                    index,
+                    cfg: cfg.clone(),
+                    offered_rate,
+                }),
+        );
+        series
+    }
+
+    /// Number of scheduled points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plan holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of series pushed so far.
+    pub fn num_series(&self) -> usize {
+        self.num_series
+    }
+
+    /// The scheduled points, in construction order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Execute every point and return outcomes in construction order.
+    ///
+    /// `jobs` is the worker count: `0` means one worker per available CPU,
+    /// `1` runs inline on the calling thread, `n > 1` fans points out
+    /// across `n` scoped worker threads pulling from a shared queue.
+    /// Results are positioned by point index, so every `jobs` value yields
+    /// the same outcome sequence — only wall-clock and the `worker` field
+    /// of the telemetry differ.
+    ///
+    /// `progress` is invoked once per finished point, in completion order,
+    /// possibly from worker threads.
+    pub fn run(&self, jobs: usize, progress: Option<&ProgressFn<'_>>) -> Vec<PointOutcome> {
+        let jobs = effective_jobs(jobs, self.points.len());
+        if jobs <= 1 {
+            return self
+                .points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let outcome = execute_point(p, i, 0);
+                    if let Some(cb) = progress {
+                        cb(&outcome.telemetry);
+                    }
+                    outcome
+                })
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<PointOutcome>>> =
+            self.points.iter().map(|_| Mutex::new(None)).collect();
+        thread::scope(|s| {
+            for worker in 0..jobs {
+                let next = &next;
+                let slots = &slots;
+                let points = &self.points;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(point) = points.get(i) else { break };
+                    let outcome = execute_point(point, i, worker);
+                    if let Some(cb) = progress {
+                        cb(&outcome.telemetry);
+                    }
+                    *slots[i].lock().expect("no worker panicked holding a slot") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("no worker panicked holding a slot")
+                    .expect("every scheduled point was executed")
+            })
+            .collect()
+    }
+
+    /// Execute the plan and regroup results by series, each in rate order,
+    /// discarding telemetry. See [`run`](Self::run) for `jobs`.
+    pub fn run_into_series(
+        &self,
+        jobs: usize,
+        progress: Option<&ProgressFn<'_>>,
+    ) -> Vec<Vec<RunResult>> {
+        let mut series: Vec<Vec<RunResult>> = (0..self.num_series).map(|_| Vec::new()).collect();
+        for (outcome, point) in self.run(jobs, progress).into_iter().zip(&self.points) {
+            series[point.series].push(outcome.result);
+        }
+        series
+    }
+}
+
+/// Resolve a `--jobs`-style worker count: `0` = all available CPUs,
+/// clamped to the number of points so small plans don't spawn idle threads.
+fn effective_jobs(jobs: usize, points: usize) -> usize {
+    let jobs = if jobs == 0 {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        jobs
+    };
+    jobs.min(points.max(1))
+}
+
+fn execute_point(point: &SweepPoint, global_index: usize, worker: usize) -> PointOutcome {
+    let start = Instant::now();
+    let result = run_point_indexed(&point.cfg, point.offered_rate, point.index);
+    let wall_s = start.elapsed().as_secs_f64();
+    let sim_cycles = point.cfg.warmup_cycles + point.cfg.measure_cycles;
+    PointOutcome {
+        telemetry: RunTelemetry {
+            series: point.series,
+            point_index: point.index,
+            global_index,
+            offered_rate: point.offered_rate,
+            worker,
+            wall_s,
+            sim_cycles,
+            cycles_per_sec: if wall_s > 0.0 {
+                sim_cycles as f64 / wall_s
+            } else {
+                0.0
+            },
+            packets_delivered: result.packets_delivered,
+        },
+        result,
+    }
+}
+
+/// Run an injection-rate sweep across `jobs` workers; bit-identical to
+/// [`sweep`](crate::sweep) for every `jobs` value (see [`SweepPlan::run`]).
+pub fn sweep_par(cfg: &ExperimentConfig, rates: &[f64], jobs: usize) -> Vec<RunResult> {
+    SweepPlan::single(cfg.clone(), rates)
+        .run(jobs, None)
+        .into_iter()
+        .map(|o| o.result)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sweep, PolicyKind, WorkloadKind};
+    use netsim::Topology;
+    use std::sync::atomic::AtomicUsize;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_baseline().with_run_lengths(2_000, 6_000);
+        cfg.network.topology = Topology::mesh(4, 2).unwrap();
+        cfg.workload = WorkloadKind::UniformRandom;
+        cfg
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let cfg = tiny_cfg().with_policy(PolicyKind::HistoryDvs(Default::default()));
+        let rates = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let serial = sweep(&cfg, &rates);
+        for jobs in [1, 2, 8] {
+            assert_eq!(sweep_par(&cfg, &rates, jobs), serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn jobs_zero_uses_available_parallelism() {
+        let cfg = tiny_cfg();
+        let rates = [0.1, 0.2];
+        assert_eq!(sweep_par(&cfg, &rates, 0), sweep(&cfg, &rates));
+    }
+
+    #[test]
+    fn series_regroup_matches_standalone_sweeps() {
+        let rates = [0.1, 0.3];
+        let a = tiny_cfg();
+        let b = tiny_cfg().with_policy(PolicyKind::HistoryDvs(Default::default()));
+        let mut plan = SweepPlan::new();
+        plan.push_series(a.clone(), &rates);
+        plan.push_series(b.clone(), &rates);
+        let series = plan.run_into_series(4, None);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0], sweep(&a, &rates));
+        assert_eq!(series[1], sweep(&b, &rates));
+    }
+
+    #[test]
+    fn progress_fires_once_per_point_with_sane_telemetry() {
+        let count = AtomicUsize::new(0);
+        let plan = SweepPlan::single(tiny_cfg(), &[0.1, 0.2, 0.3]);
+        let outcomes = plan.run(
+            2,
+            Some(&|t: &RunTelemetry| {
+                count.fetch_add(1, Ordering::Relaxed);
+                assert!(t.wall_s >= 0.0);
+                assert_eq!(t.sim_cycles, 8_000);
+                assert!(t.worker < 2);
+            }),
+        );
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+        assert_eq!(outcomes.len(), 3);
+        // Outcomes are in construction order regardless of completion order.
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.telemetry.global_index, i);
+            assert_eq!(o.telemetry.point_index, i);
+            assert_eq!(o.result.offered_rate, [0.1, 0.2, 0.3][i]);
+        }
+    }
+
+    #[test]
+    fn empty_plan_runs_to_nothing() {
+        let plan = SweepPlan::new();
+        assert!(plan.is_empty());
+        assert!(plan.run(4, None).is_empty());
+    }
+}

@@ -13,6 +13,25 @@ use crate::{ExperimentConfig, RunResult};
 /// Panics if the experiment configuration is invalid (propagated from
 /// [`Network::with_policies`]) or `offered_rate` is not positive.
 pub fn run_point(cfg: &ExperimentConfig, offered_rate: f64) -> RunResult {
+    run_point_indexed(cfg, offered_rate, 0)
+}
+
+/// [`run_point`] for a point at position `point_index` of a sweep.
+///
+/// The workload seed derives from `(cfg.seed, offered_rate, point_index)`,
+/// so every point of a sweep gets an independent stream even when rate bit
+/// patterns collide or a rate repeats, and the result of a point depends
+/// only on its own identity — never on which worker ran it or what else
+/// was in the sweep.
+///
+/// # Panics
+///
+/// As [`run_point`].
+pub fn run_point_indexed(
+    cfg: &ExperimentConfig,
+    offered_rate: f64,
+    point_index: usize,
+) -> RunResult {
     assert!(
         offered_rate.is_finite() && offered_rate > 0.0,
         "offered rate must be positive"
@@ -20,9 +39,7 @@ pub fn run_point(cfg: &ExperimentConfig, offered_rate: f64) -> RunResult {
     let mut factory = cfg.policy_factory();
     let mut net = Network::with_policies(cfg.network.clone(), &mut factory)
         .expect("experiment network configuration must be valid");
-    // Derive the workload seed from the experiment seed and the operating
-    // point so sweep points are independent but reproducible.
-    let seed = cfg.seed ^ (offered_rate.to_bits().rotate_left(17));
+    let seed = point_seed(cfg.seed, offered_rate, point_index);
     let mut workload = cfg.workload.build(net.topology(), offered_rate, seed);
 
     let mut pending: Vec<(usize, usize)> = Vec::new();
@@ -67,10 +84,37 @@ pub fn run_point(cfg: &ExperimentConfig, offered_rate: f64) -> RunResult {
     }
 }
 
-/// Run an injection-rate sweep, returning one [`RunResult`] per rate in
-/// order.
+/// One SplitMix64 scrambling round.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the workload seed of one sweep point by chaining SplitMix64 over
+/// `(seed, rate bits, point index)`.
+///
+/// The previous derivation — `seed ^ rate_bits.rotate_left(17)` — let
+/// structured `(seed, rate)` pairs cancel into colliding streams and gave
+/// repeated rates identical workloads; each SplitMix64 round diffuses
+/// every input bit across the whole word, so distinct inputs map to
+/// distinct, uncorrelated streams.
+pub(crate) fn point_seed(seed: u64, offered_rate: f64, point_index: usize) -> u64 {
+    let mut s = splitmix64(seed);
+    s = splitmix64(s ^ offered_rate.to_bits());
+    splitmix64(s ^ point_index as u64)
+}
+
+/// Run an injection-rate sweep serially, returning one [`RunResult`] per
+/// rate in order. [`sweep_par`](crate::sweep_par) is the multi-worker
+/// equivalent and produces bit-identical results.
 pub fn sweep(cfg: &ExperimentConfig, rates: &[f64]) -> Vec<RunResult> {
-    rates.iter().map(|&r| run_point(cfg, r)).collect()
+    rates
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| run_point_indexed(cfg, r, i))
+        .collect()
 }
 
 /// Estimate the zero-load latency of a configuration: the average latency
@@ -162,5 +206,50 @@ mod tests {
     #[should_panic(expected = "offered rate")]
     fn bad_rate_panics() {
         let _ = run_point(&quick_cfg(), 0.0);
+    }
+
+    #[test]
+    fn point_seeds_are_collision_free_over_a_dense_grid() {
+        // The old `seed ^ rate_bits.rotate_left(17)` derivation collided
+        // whenever two (seed, rate) pairs cancelled; the SplitMix64 chain
+        // must keep a dense grid of rates, indices, and seeds distinct.
+        let mut seen = std::collections::HashSet::new();
+        for seed in [0u64, 1, 0x11d5, u64::MAX] {
+            for rate_step in 1..=50 {
+                let rate = rate_step as f64 * 0.05;
+                for index in 0..8 {
+                    assert!(
+                        seen.insert(point_seed(seed, rate, index)),
+                        "collision at seed {seed}, rate {rate}, index {index}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn old_derivation_collisions_are_fixed() {
+        // Two points the pre-fix scheme mapped to the same stream:
+        // seed2 = seed1 ^ rot(bits(r1)) ^ rot(bits(r2)) makes
+        // seed1 ^ rot(bits(r1)) == seed2 ^ rot(bits(r2)).
+        let (r1, r2) = (0.4f64, 1.6f64);
+        let seed1 = 0x11d5u64;
+        let seed2 = seed1 ^ r1.to_bits().rotate_left(17) ^ r2.to_bits().rotate_left(17);
+        assert_eq!(
+            seed1 ^ r1.to_bits().rotate_left(17),
+            seed2 ^ r2.to_bits().rotate_left(17),
+            "premise: the old scheme collides on this pair"
+        );
+        assert_ne!(point_seed(seed1, r1, 0), point_seed(seed2, r2, 0));
+    }
+
+    #[test]
+    fn repeated_rates_get_distinct_streams() {
+        // The same rate at two sweep positions must not share a workload.
+        let cfg = quick_cfg();
+        let rs = sweep(&cfg, &[0.2, 0.2]);
+        assert_ne!(rs[0].packets_delivered, rs[1].packets_delivered);
+        // ...while a lone point still matches position 0 of any sweep.
+        assert_eq!(rs[0], run_point(&cfg, 0.2));
     }
 }

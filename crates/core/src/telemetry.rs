@@ -1,0 +1,116 @@
+use std::io::{self, Write};
+
+/// Observability record for one executed sweep point: where it ran, how
+/// long it took, and how fast the simulator churned through it.
+///
+/// Emitted by [`SweepPlan::run`](crate::SweepPlan::run) alongside each
+/// [`RunResult`](crate::RunResult), and serialized as JSON lines next to
+/// the CSV artifacts so CI can track simulator throughput over time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTelemetry {
+    /// Index of the series this point belongs to (plan construction order).
+    pub series: usize,
+    /// Position of the point within its series (also the seed-derivation
+    /// index).
+    pub point_index: usize,
+    /// Position of the point within the whole plan.
+    pub global_index: usize,
+    /// Offered injection rate of the point, packets/cycle.
+    pub offered_rate: f64,
+    /// Worker slot that executed the point (0 for serial runs).
+    pub worker: usize,
+    /// Wall-clock time spent simulating the point, seconds.
+    pub wall_s: f64,
+    /// Cycles simulated (warm-up + measurement).
+    pub sim_cycles: u64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Packets delivered during the measurement phase.
+    pub packets_delivered: u64,
+}
+
+impl RunTelemetry {
+    /// This record as one JSON object (one line, no trailing newline).
+    ///
+    /// Hand-rolled rather than pulling in a serialization dependency: every
+    /// field is a finite number, so `Display` formatting is valid JSON.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"series\":{},\"point_index\":{},\"global_index\":{},",
+                "\"offered_rate\":{},\"worker\":{},\"wall_s\":{:.6},",
+                "\"sim_cycles\":{},\"cycles_per_sec\":{:.1},",
+                "\"packets_delivered\":{}}}"
+            ),
+            self.series,
+            self.point_index,
+            self.global_index,
+            self.offered_rate,
+            self.worker,
+            self.wall_s,
+            self.sim_cycles,
+            self.cycles_per_sec,
+            self.packets_delivered,
+        )
+    }
+}
+
+/// Write telemetry records as JSON lines.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_telemetry_jsonl<W: Write>(out: &mut W, records: &[RunTelemetry]) -> io::Result<()> {
+    for r in records {
+        writeln!(out, "{}", r.to_json())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> RunTelemetry {
+        RunTelemetry {
+            series: 1,
+            point_index: 2,
+            global_index: 14,
+            offered_rate: 0.8,
+            worker: 3,
+            wall_s: 1.25,
+            sim_cycles: 1_000_000,
+            cycles_per_sec: 800_000.0,
+            packets_delivered: 12345,
+        }
+    }
+
+    #[test]
+    fn json_has_all_fields_and_is_one_line() {
+        let j = record().to_json();
+        for key in [
+            "series",
+            "point_index",
+            "global_index",
+            "offered_rate",
+            "worker",
+            "wall_s",
+            "sim_cycles",
+            "cycles_per_sec",
+            "packets_delivered",
+        ] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
+        }
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_record() {
+        let mut buf = Vec::new();
+        write_telemetry_jsonl(&mut buf, &[record(), record()]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+}

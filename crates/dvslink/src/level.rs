@@ -153,10 +153,11 @@ impl VfTable {
             return Err(LevelError::Empty);
         }
         for (i, l) in levels.iter().enumerate() {
-            if !(l.voltage_v.is_finite() && l.voltage_v > 0.0)
-                || !(l.power_w.is_finite() && l.power_w > 0.0)
-                || l.freq_x9_mhz == 0
-            {
+            let sane = l.voltage_v.is_finite()
+                && l.voltage_v > 0.0
+                && l.power_w.is_finite()
+                && l.power_w > 0.0;
+            if !sane || l.freq_x9_mhz == 0 {
                 return Err(LevelError::InvalidValue(i));
             }
             if i > 0 {

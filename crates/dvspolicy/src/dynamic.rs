@@ -112,7 +112,7 @@ impl LinkPolicy for DynamicThresholdPolicy {
     fn on_window(&mut self, measures: &WindowMeasures, channel: &mut DvsChannel) {
         self.inner.on_window(measures, channel);
         self.windows_seen += 1;
-        if self.windows_seen % self.adjust_every == 0 {
+        if self.windows_seen.is_multiple_of(self.adjust_every) {
             self.retune();
         }
     }

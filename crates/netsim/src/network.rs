@@ -167,7 +167,7 @@ impl Network {
         if config.vcs == 0 {
             return Err(NetworkError::NoVirtualChannels);
         }
-        if config.buf_per_port < config.vcs || config.buf_per_port % config.vcs != 0 {
+        if config.buf_per_port < config.vcs || !config.buf_per_port.is_multiple_of(config.vcs) {
             return Err(NetworkError::BadBufferSplit {
                 buf_per_port: config.buf_per_port,
                 vcs: config.vcs,
@@ -725,7 +725,10 @@ mod tests {
         assert_eq!(a.crossbar_traversals, 6 * 5);
         assert!(a.sa_arbitrations >= a.buffer_reads);
         // Ejection at the destination needs no output VC, so 6 hops request.
-        assert!(a.va_arbitrations >= 6, "one VA request per non-ejection hop");
+        assert!(
+            a.va_arbitrations >= 6,
+            "one VA request per non-ejection hop"
+        );
     }
 
     #[test]

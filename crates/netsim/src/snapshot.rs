@@ -70,7 +70,12 @@ impl NetworkSnapshot {
         // Level count from any channel's table is not reachable here; use
         // the max observed level + 1 as a lower bound and let callers size
         // histograms via `level_histogram`, which always allocates 10+.
-        let levels = channels.iter().map(|c| c.level + 1).max().unwrap_or(1).max(10);
+        let levels = channels
+            .iter()
+            .map(|c| c.level + 1)
+            .max()
+            .unwrap_or(1)
+            .max(10);
         Self {
             time: net.time(),
             levels,
@@ -119,7 +124,11 @@ impl NetworkSnapshot {
     /// congested first.
     pub fn most_congested(&self, n: usize) -> Vec<ChannelState> {
         let mut sorted = self.channels.clone();
-        sorted.sort_by(|a, b| b.occupancy.partial_cmp(&a.occupancy).expect("finite occupancy"));
+        sorted.sort_by(|a, b| {
+            b.occupancy
+                .partial_cmp(&a.occupancy)
+                .expect("finite occupancy")
+        });
         sorted.truncate(n);
         sorted
     }

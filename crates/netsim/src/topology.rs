@@ -222,7 +222,7 @@ impl Topology {
             "port {port} is not a network port"
         );
         let dim = ((port - 1) / 2) as u32;
-        let dir = if (port - 1) % 2 == 0 {
+        let dir = if (port - 1).is_multiple_of(2) {
             Direction::Pos
         } else {
             Direction::Neg

@@ -109,7 +109,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_series_is_negative_at_lag_one() {
-        let s: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let s: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r1 = autocorrelation(&s, 1).unwrap();
         assert!(r1 < -0.9, "lag-1 ACF {r1}");
         let r2 = autocorrelation(&s, 2).unwrap();

@@ -40,7 +40,11 @@ impl Trace {
         let mut entries = Vec::new();
         for t in 0..cycles {
             workload.poll(t, &mut |src, dest| {
-                entries.push(TraceEntry { cycle: t, src, dest });
+                entries.push(TraceEntry {
+                    cycle: t,
+                    src,
+                    dest,
+                });
             });
         }
         Self { entries }
@@ -205,9 +209,21 @@ mod tests {
     #[test]
     fn text_roundtrip() {
         let trace = Trace::from_entries(vec![
-            TraceEntry { cycle: 0, src: 1, dest: 2 },
-            TraceEntry { cycle: 0, src: 3, dest: 4 },
-            TraceEntry { cycle: 17, src: 5, dest: 0 },
+            TraceEntry {
+                cycle: 0,
+                src: 1,
+                dest: 2,
+            },
+            TraceEntry {
+                cycle: 0,
+                src: 3,
+                dest: 4,
+            },
+            TraceEntry {
+                cycle: 17,
+                src: 5,
+                dest: 0,
+            },
         ]);
         let mut buf = Vec::new();
         trace.write_to(&mut buf).unwrap();
@@ -232,8 +248,16 @@ mod tests {
     #[should_panic(expected = "ordered by cycle")]
     fn out_of_order_entries_panic() {
         let _ = Trace::from_entries(vec![
-            TraceEntry { cycle: 9, src: 0, dest: 1 },
-            TraceEntry { cycle: 3, src: 0, dest: 1 },
+            TraceEntry {
+                cycle: 9,
+                src: 0,
+                dest: 1,
+            },
+            TraceEntry {
+                cycle: 3,
+                src: 0,
+                dest: 1,
+            },
         ]);
     }
 

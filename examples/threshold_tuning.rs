@@ -33,10 +33,7 @@ fn main() {
             r.power_savings
         );
     }
-    let dynamic = run_point(
-        &base.with_policy(PolicyKind::DynamicThresholds),
-        offered,
-    );
+    let dynamic = run_point(&base.with_policy(PolicyKind::DynamicThresholds), offered);
     println!(
         "{:<28} {:>10.0} {:>10.1} {:>8.2}x",
         "dynamic thresholds (ext.)",

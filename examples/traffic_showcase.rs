@@ -45,10 +45,7 @@ fn main() {
     let (useries, uper_node) = binned_counts(&mut uniform, cycles, bin);
 
     println!("traffic model comparison over {cycles} cycles at 1.0 pkt/cycle\n");
-    println!(
-        "{:<26} {:>12} {:>12}",
-        "", "two-level", "uniform"
-    );
+    println!("{:<26} {:>12} {:>12}", "", "two-level", "uniform");
     println!(
         "{:<26} {:>12.2} {:>12.2}",
         "Hurst (variance-time)",

@@ -88,7 +88,9 @@ fn reactive_policy_transitions_more_than_history_policy() {
     // the extremes plus a direct energy comparison.
     let base = small_cfg().with_workload(WorkloadKind::UniformRandom);
     let hist = run_point(
-        &base.clone().with_policy(PolicyKind::HistoryDvs(Default::default())),
+        &base
+            .clone()
+            .with_policy(PolicyKind::HistoryDvs(Default::default())),
         0.4,
     );
     let reactive = run_point(&base.with_policy(PolicyKind::Reactive), 0.4);
@@ -96,7 +98,8 @@ fn reactive_policy_transitions_more_than_history_policy() {
     // both axes (it pays for its jitter somewhere).
     assert!(hist.packets_delivered > 1_000);
     assert!(reactive.packets_delivered > 1_000);
-    let hist_worse_latency = hist.avg_latency_cycles.unwrap() >= reactive.avg_latency_cycles.unwrap();
+    let hist_worse_latency =
+        hist.avg_latency_cycles.unwrap() >= reactive.avg_latency_cycles.unwrap();
     let hist_worse_power = hist.avg_power_w >= reactive.avg_power_w;
     assert!(
         !(hist_worse_latency && hist_worse_power),

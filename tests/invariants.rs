@@ -1,8 +1,8 @@
 //! System invariants checked across crates: flit conservation under DVS
 //! transitions, energy-accounting consistency, and paper-constant sanity.
 
-use dvspolicy::{HistoryDvsConfig, HistoryDvsPolicy};
 use dvslink::{RegulatorParams, TransitionTiming, VfTable};
+use dvspolicy::{HistoryDvsConfig, HistoryDvsPolicy};
 use netsim::{Network, NetworkConfig, Topology};
 use trafficgen::{TaskModelConfig, TaskWorkload, Workload};
 

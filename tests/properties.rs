@@ -207,6 +207,27 @@ proptest! {
         prop_assert_eq!(net.stats().flits_injected(), net.stats().flits_delivered());
     }
 
+    /// Parallel sweeps are bit-identical to serial ones at every worker
+    /// count, whatever the config seed and rate grid: per-point seeds
+    /// depend only on `(cfg.seed, rate, index)`, never on scheduling.
+    #[test]
+    fn sweep_par_matches_sweep_elementwise(
+        seed: u64,
+        rates in prop::collection::vec(0.05f64..1.5, 1..6),
+    ) {
+        let mut cfg = linkdvs::ExperimentConfig::paper_baseline()
+            .with_run_lengths(1_000, 4_000)
+            .with_policy(linkdvs::PolicyKind::HistoryDvs(Default::default()))
+            .with_seed(seed);
+        cfg.network.topology = Topology::mesh(4, 2).unwrap();
+        cfg.workload = linkdvs::WorkloadKind::UniformRandom;
+        let serial = linkdvs::sweep(&cfg, &rates);
+        for jobs in [1usize, 2, 8] {
+            let par = linkdvs::sweep_par(&cfg, &rates, jobs);
+            prop_assert_eq!(&par, &serial, "jobs = {}", jobs);
+        }
+    }
+
     /// Adaptive routing also delivers everything (escape-VC deadlock
     /// freedom under random traffic).
     #[test]

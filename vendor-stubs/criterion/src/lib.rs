@@ -1,0 +1,182 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Implements `Criterion`, benchmark groups, `iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros with a simple
+//! fixed-iteration timer that prints mean wall-clock per iteration. Good
+//! enough to smoke-run benches and compare relative timings offline; real
+//! builds use crates.io criterion.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (stable-Rust fallback).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` sizes its input batches (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a group (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timing driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with a fresh `setup` product per iteration,
+    /// excluding setup from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Parse CLI args (stub: accepts and ignores them).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            c: self,
+            sample_size: None,
+        }
+    }
+
+    /// Run one named benchmark outside a group.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&name.into(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks (subset of `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotate throughput (printed only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        eprintln!("  throughput: {t:?}");
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        let n = self.sample_size.unwrap_or(self.c.sample_size);
+        run_bench(&name.into(), n, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // One warm-up pass, then `samples` timed iterations in one batch.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mut b = Bencher {
+        iters: samples.max(1) as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    eprintln!("  {name}: {:.3} ms/iter ({} iters)", per_iter * 1e3, b.iters);
+}
+
+#[macro_export]
+/// Collect bench functions into a runnable group.
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+/// Entry point running the given groups.
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
