@@ -30,11 +30,12 @@ const BINS: &[&str] = &[
     "fig17_frequency_transition",
     "ablation_policies",
     "ablation_parameters",
+    "reliability_pareto",
 ];
 
 fn main() {
     // Validate the forwarded flags up front so a typo fails fast here
-    // instead of seventeen times in the children.
+    // instead of eighteen times in the children.
     let opts = FigureOpts::from_env_or_exit();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let exe_dir = std::env::current_exe()

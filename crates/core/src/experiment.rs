@@ -1,8 +1,8 @@
 use dvspolicy::{
-    DynamicThresholdPolicy, HistoryDvsConfig, HistoryDvsPolicy, ReactiveDvsPolicy,
-    TargetUtilizationPolicy,
+    DynamicThresholdPolicy, GuardedPolicy, HistoryDvsConfig, HistoryDvsPolicy, ReactiveDvsPolicy,
+    ReliabilityGuard, TargetUtilizationPolicy,
 };
-use netsim::{LinkPolicy, NetworkConfig, NodeId, PortId, StaticLevelPolicy, Topology};
+use netsim::{FaultConfig, LinkPolicy, NetworkConfig, NodeId, PortId, StaticLevelPolicy, Topology};
 use trafficgen::{
     HotspotWorkload, Permutation, PermutationWorkload, TaskModelConfig, TaskWorkload,
     UniformRandomWorkload, Workload,
@@ -126,6 +126,12 @@ pub struct ExperimentConfig {
     pub measure_cycles: Cycles,
     /// Root RNG seed (workload seeds derive from it).
     pub seed: u64,
+    /// Bit-error-rate floor enforced around the policy: when set, every
+    /// port's policy is wrapped in a [`GuardedPolicy`] that refuses to step
+    /// channels below the lowest level meeting this BER under the fault
+    /// subsystem's noise model (the paper's default model when faults are
+    /// disabled).
+    pub reliability_target_ber: Option<f64>,
 }
 
 impl ExperimentConfig {
@@ -144,6 +150,7 @@ impl ExperimentConfig {
             warmup_cycles: 600_000,
             measure_cycles: 400_000,
             seed: 0x11d5,
+            reliability_target_ber: None,
         }
     }
 
@@ -172,7 +179,35 @@ impl ExperimentConfig {
         self
     }
 
+    /// Builder-style fault-subsystem override (see
+    /// [`netsim::NetworkConfig::faults`]).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.network.faults = Some(faults);
+        self
+    }
+
+    /// Builder-style reliability floor: wrap every port's policy so it
+    /// never commands a level whose predicted BER exceeds `target_ber`.
+    pub fn with_reliability_target(mut self, target_ber: f64) -> Self {
+        self.reliability_target_ber = Some(target_ber);
+        self
+    }
+
     pub(crate) fn policy_factory(&self) -> impl FnMut(NodeId, PortId) -> Box<dyn LinkPolicy> + '_ {
-        move |_, _| self.policy.build()
+        // The guard judges levels with the same noise model the fault
+        // injector draws from, so "what the policy refuses" and "what the
+        // simulator corrupts" stay one consistent physical story.
+        let guard = self.reliability_target_ber.map(|target| {
+            let noise = self
+                .network
+                .faults
+                .as_ref()
+                .map_or_else(Default::default, |f| f.noise);
+            ReliabilityGuard::new(noise, target)
+        });
+        move |_, _| match guard {
+            Some(g) => Box::new(GuardedPolicy::new(g, self.policy.build())),
+            None => self.policy.build(),
+        }
     }
 }

@@ -49,7 +49,9 @@ mod telemetry;
 pub use experiment::{ExperimentConfig, PolicyKind, WorkloadKind};
 pub use plan::{sweep_par, PointOutcome, ProgressFn, SweepPlan, SweepPoint};
 pub use result::{write_csv, RunResult, SweepSummary};
-pub use runner::{run_point, run_point_indexed, sweep, zero_load_latency};
-pub use telemetry::{write_telemetry_jsonl, RunTelemetry};
+pub use runner::{
+    run_point, run_point_full, run_point_indexed, run_point_indexed_full, sweep, zero_load_latency,
+};
+pub use telemetry::{write_telemetry_jsonl, FaultSummary, RunTelemetry};
 
 pub use dvslink::Cycles;

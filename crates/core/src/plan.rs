@@ -3,7 +3,7 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::Instant;
 
-use crate::runner::run_point_indexed;
+use crate::runner::run_point_indexed_full;
 use crate::{ExperimentConfig, RunResult, RunTelemetry};
 
 /// Callback invoked as each sweep point finishes (possibly from a worker
@@ -205,7 +205,7 @@ fn effective_jobs(jobs: usize, points: usize) -> usize {
 
 fn execute_point(point: &SweepPoint, global_index: usize, worker: usize) -> PointOutcome {
     let start = Instant::now();
-    let result = run_point_indexed(&point.cfg, point.offered_rate, point.index);
+    let (result, faults) = run_point_indexed_full(&point.cfg, point.offered_rate, point.index);
     let wall_s = start.elapsed().as_secs_f64();
     let sim_cycles = point.cfg.warmup_cycles + point.cfg.measure_cycles;
     PointOutcome {
@@ -223,6 +223,7 @@ fn execute_point(point: &SweepPoint, global_index: usize, worker: usize) -> Poin
                 0.0
             },
             packets_delivered: result.packets_delivered,
+            faults,
         },
         result,
     }
@@ -303,6 +304,37 @@ mod tests {
             assert_eq!(o.telemetry.global_index, i);
             assert_eq!(o.telemetry.point_index, i);
             assert_eq!(o.result.offered_rate, [0.1, 0.2, 0.3][i]);
+        }
+    }
+
+    #[test]
+    fn fault_counters_are_jobs_invariant() {
+        // With faults enabled, the same seed must produce bit-identical
+        // corruption/retransmission/delivery counts at every worker count:
+        // each point's fault streams derive only from (fault seed, node,
+        // port), never from scheduling.
+        let noise = dvslink::NoiseModel::paper();
+        let table = dvslink::VfTable::paper();
+        let ber = noise.ber(table.get(table.top()).unwrap());
+        let mut cfg = tiny_cfg()
+            .with_policy(PolicyKind::HistoryDvs(Default::default()))
+            .with_faults(netsim::FaultConfig::new(0xFA17).with_ber_scale(1.5e-3 / ber))
+            .with_reliability_target(1e-6);
+        cfg.network.timing = dvslink::TransitionTiming::paper_aggressive();
+        let rates = [0.1, 0.3, 0.5];
+        let run = |jobs| {
+            SweepPlan::single(cfg.clone(), &rates)
+                .run(jobs, None)
+                .into_iter()
+                .map(|o| (o.result, o.telemetry.faults))
+                .collect::<Vec<_>>()
+        };
+        let serial = run(1);
+        let faults = serial[0].1.expect("fault subsystem enabled");
+        assert!(faults.transmitted > 0);
+        assert!(faults.corrupted > 0, "p_flit ~ 0.05 must corrupt something");
+        for jobs in [2, 8] {
+            assert_eq!(run(jobs), serial, "jobs = {jobs}");
         }
     }
 

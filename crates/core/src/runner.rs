@@ -1,6 +1,6 @@
 use netsim::Network;
 
-use crate::{ExperimentConfig, RunResult};
+use crate::{ExperimentConfig, FaultSummary, RunResult};
 
 /// Simulate one operating point: warm up, measure, and report the paper's
 /// metrics.
@@ -14,6 +14,19 @@ use crate::{ExperimentConfig, RunResult};
 /// [`Network::with_policies`]) or `offered_rate` is not positive.
 pub fn run_point(cfg: &ExperimentConfig, offered_rate: f64) -> RunResult {
     run_point_indexed(cfg, offered_rate, 0)
+}
+
+/// [`run_point`] plus the aggregate fault/retransmission counters of the
+/// run (`None` when the experiment leaves the fault subsystem disabled).
+///
+/// # Panics
+///
+/// As [`run_point`].
+pub fn run_point_full(
+    cfg: &ExperimentConfig,
+    offered_rate: f64,
+) -> (RunResult, Option<FaultSummary>) {
+    run_point_indexed_full(cfg, offered_rate, 0)
 }
 
 /// [`run_point`] for a point at position `point_index` of a sweep.
@@ -32,6 +45,20 @@ pub fn run_point_indexed(
     offered_rate: f64,
     point_index: usize,
 ) -> RunResult {
+    run_point_indexed_full(cfg, offered_rate, point_index).0
+}
+
+/// [`run_point_indexed`] plus the run's fault counters, as
+/// [`run_point_full`].
+///
+/// # Panics
+///
+/// As [`run_point`].
+pub fn run_point_indexed_full(
+    cfg: &ExperimentConfig,
+    offered_rate: f64,
+    point_index: usize,
+) -> (RunResult, Option<FaultSummary>) {
     assert!(
         offered_rate.is_finite() && offered_rate > 0.0,
         "offered rate must be positive"
@@ -64,7 +91,8 @@ pub fn run_point_indexed(
     } else {
         0.0
     };
-    RunResult {
+    let faults = net.fault_totals().map(FaultSummary::from);
+    let result = RunResult {
         offered_rate,
         injection_rate: stats.injection_rate_packets_per_cycle(now),
         throughput: stats.throughput_packets_per_cycle(now),
@@ -81,7 +109,8 @@ pub fn run_point_indexed(
         },
         mean_level: net.mean_channel_level(),
         packets_delivered: stats.packets_delivered(),
-    }
+    };
+    (result, faults)
 }
 
 /// One SplitMix64 scrambling round.

@@ -1,5 +1,45 @@
 use std::io::{self, Write};
 
+use netsim::FaultStats;
+
+/// Fault/recovery outcome of one executed sweep point, aggregated over
+/// every channel in the network. Present only when the experiment enabled
+/// the fault subsystem ([`netsim::NetworkConfig::faults`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSummary {
+    /// Transmission attempts, including corrupted ones.
+    pub transmitted: u64,
+    /// Attempts corrupted in flight (detected + undetected).
+    pub corrupted: u64,
+    /// Detected corruptions that triggered a retransmission.
+    pub retransmissions: u64,
+    /// Corrupted flits the CRC syndrome missed (delivered anyway).
+    pub residual_errors: u64,
+    /// Transient link-outage episodes.
+    pub outages: u64,
+    /// Cycles spent inside outage episodes.
+    pub outage_cycles: u64,
+    /// Links that exhausted their retry budget and fail-stopped.
+    pub failed_links: u64,
+    /// Attempts that put a flit on the downstream wire.
+    pub delivered_attempts: u64,
+}
+
+impl From<FaultStats> for FaultSummary {
+    fn from(s: FaultStats) -> Self {
+        Self {
+            transmitted: s.transmitted,
+            corrupted: s.corrupted,
+            retransmissions: s.retransmissions,
+            residual_errors: s.residual_errors,
+            outages: s.outages,
+            outage_cycles: s.outage_cycles,
+            failed_links: s.failed_links,
+            delivered_attempts: s.delivered_attempts(),
+        }
+    }
+}
+
 /// Observability record for one executed sweep point: where it ran, how
 /// long it took, and how fast the simulator churned through it.
 ///
@@ -27,6 +67,10 @@ pub struct RunTelemetry {
     pub cycles_per_sec: f64,
     /// Packets delivered during the measurement phase.
     pub packets_delivered: u64,
+    /// Fault/retransmission counters, when the fault subsystem was enabled.
+    /// `None` keeps the serialized record byte-identical to pre-fault
+    /// builds, so fault-free artifact diffs stay clean.
+    pub faults: Option<FaultSummary>,
 }
 
 impl RunTelemetry {
@@ -35,12 +79,12 @@ impl RunTelemetry {
     /// Hand-rolled rather than pulling in a serialization dependency: every
     /// field is a finite number, so `Display` formatting is valid JSON.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut json = format!(
             concat!(
                 "{{\"series\":{},\"point_index\":{},\"global_index\":{},",
                 "\"offered_rate\":{},\"worker\":{},\"wall_s\":{:.6},",
                 "\"sim_cycles\":{},\"cycles_per_sec\":{:.1},",
-                "\"packets_delivered\":{}}}"
+                "\"packets_delivered\":{}"
             ),
             self.series,
             self.point_index,
@@ -51,7 +95,27 @@ impl RunTelemetry {
             self.sim_cycles,
             self.cycles_per_sec,
             self.packets_delivered,
-        )
+        );
+        if let Some(f) = &self.faults {
+            json.push_str(&format!(
+                concat!(
+                    ",\"faults\":{{\"transmitted\":{},\"corrupted\":{},",
+                    "\"retransmissions\":{},\"residual_errors\":{},",
+                    "\"outages\":{},\"outage_cycles\":{},\"failed_links\":{},",
+                    "\"delivered_attempts\":{}}}"
+                ),
+                f.transmitted,
+                f.corrupted,
+                f.retransmissions,
+                f.residual_errors,
+                f.outages,
+                f.outage_cycles,
+                f.failed_links,
+                f.delivered_attempts,
+            ));
+        }
+        json.push('}');
+        json
     }
 }
 
@@ -82,6 +146,7 @@ mod tests {
             sim_cycles: 1_000_000,
             cycles_per_sec: 800_000.0,
             packets_delivered: 12345,
+            faults: None,
         }
     }
 
@@ -103,6 +168,34 @@ mod tests {
         }
         assert!(!j.contains('\n'));
         assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn fault_free_json_has_no_faults_key() {
+        // Byte-level compatibility: a record without fault data serializes
+        // exactly as it did before the fault subsystem existed.
+        let j = record().to_json();
+        assert!(!j.contains("faults"));
+    }
+
+    #[test]
+    fn fault_summary_serializes_as_nested_object() {
+        let mut r = record();
+        r.faults = Some(FaultSummary {
+            transmitted: 1000,
+            corrupted: 10,
+            retransmissions: 9,
+            residual_errors: 1,
+            outages: 2,
+            outage_cycles: 100,
+            failed_links: 0,
+            delivered_attempts: 991,
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"faults\":{\"transmitted\":1000,"));
+        assert!(j.contains("\"delivered_attempts\":991}"));
+        assert!(j.ends_with("}}"));
+        assert!(!j.contains('\n'));
     }
 
     #[test]

@@ -61,6 +61,8 @@ pub struct DvsChannel {
     timing: TransitionTiming,
     regulator: RegulatorParams,
     link_count: u32,
+    /// Lowest level a step-down may target (reliability floor).
+    min_level: usize,
     /// Level whose frequency the links currently run at.
     level: usize,
     /// Level whose voltage is currently applied (drives power accounting).
@@ -96,6 +98,7 @@ impl DvsChannel {
             timing,
             regulator,
             link_count: 1,
+            min_level: 0,
             level: initial_level,
             voltage_index: initial_level,
             phase: ChannelPhase::Stable,
@@ -120,6 +123,30 @@ impl DvsChannel {
     /// Number of serial links bundled in this channel.
     pub fn link_count(&self) -> u32 {
         self.link_count
+    }
+
+    /// Set the lowest level step-downs may target. A reliability guard
+    /// raises this floor so DVS never commands a level whose predicted BER
+    /// exceeds the target; step-down requests at or below the floor fail
+    /// with [`TransitionError::AtMinLevel`] (which every policy treats as
+    /// a benign no-op). The floor does not by itself raise a channel
+    /// already below it — a guard policy steps it up gracefully.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range for the table.
+    pub fn set_min_level(&mut self, level: usize) {
+        assert!(
+            level < self.table.len(),
+            "min level {level} out of range for table of {} levels",
+            self.table.len()
+        );
+        self.min_level = level;
+    }
+
+    /// The current step-down floor (0 unless a guard raised it).
+    pub fn min_level(&self) -> usize {
+        self.min_level
     }
 
     /// The channel's level table.
@@ -216,6 +243,22 @@ impl DvsChannel {
         &self.stats
     }
 
+    /// Wire energy of serializing one flit across the channel at the
+    /// current operating point, in joules: channel power × one flit time
+    /// (9000 / freq_x9 router cycles of 1 ns).
+    pub fn flit_energy_j(&self) -> f64 {
+        self.power_w() * (9000.0 / f64::from(self.freq_x9())) * 1e-9
+    }
+
+    /// Charge the overhead of one link-level retransmission: the wire
+    /// energy of re-serializing the corrupted flit at the current
+    /// operating point, recorded in the meter's retransmission bucket.
+    pub fn charge_retransmission(&mut self, now: Cycles) {
+        self.sync_meter(now);
+        let e = self.flit_energy_j();
+        self.meter.add_retransmission(e);
+    }
+
     /// Begin a one-level speed-up at cycle `now`.
     ///
     /// # Errors
@@ -252,7 +295,7 @@ impl DvsChannel {
     /// flight, or [`TransitionError::AtMinLevel`] at the bottom level.
     pub fn request_step_down(&mut self, now: Cycles) -> Result<(), TransitionError> {
         self.check_ready()?;
-        if self.level == 0 {
+        if self.level <= self.min_level {
             return Err(TransitionError::AtMinLevel);
         }
         self.sync_meter(now);
@@ -540,6 +583,49 @@ mod tests {
         ch.advance(1_000_000);
         // Lock at level 8: freq_x9 = 8125, ceil(900000/8125) = 111.
         assert_eq!(ch.stats().disabled_cycles, 111);
+    }
+
+    #[test]
+    fn min_level_floor_blocks_step_down() {
+        let mut ch = channel_at(4);
+        ch.set_min_level(4);
+        assert_eq!(ch.min_level(), 4);
+        assert_eq!(ch.request_step_down(0), Err(TransitionError::AtMinLevel));
+        // Stepping up is unaffected, and the floor only binds at or below.
+        ch.request_step_up(0).unwrap();
+        ch.advance(1_000_000);
+        assert_eq!(ch.level(), 5);
+        ch.request_step_down(1_000_000).unwrap();
+        ch.advance(2_000_000);
+        assert_eq!(ch.level(), 4);
+        assert_eq!(
+            ch.request_step_down(2_000_000),
+            Err(TransitionError::AtMinLevel)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn min_level_out_of_range_panics() {
+        channel_at(0).set_min_level(10);
+    }
+
+    #[test]
+    fn retransmission_energy_is_one_flit_time_at_current_power() {
+        let mut ch = channel_at(9).with_link_count(8);
+        // Level 9: 1.6 W channel, 1 ns flit time -> 1.6 nJ per retransmit.
+        assert!((ch.flit_energy_j() - 1.6e-9).abs() < 1e-18);
+        ch.charge_retransmission(100);
+        ch.charge_retransmission(200);
+        assert_eq!(ch.meter().retransmissions(), 2);
+        assert!((ch.meter().retransmission_j() - 3.2e-9).abs() < 1e-18);
+        // Retransmission energy rides into the total alongside operating.
+        ch.advance(1_000);
+        assert!((ch.meter().total_j() - (1.6 * 1e-6 + 3.2e-9)).abs() < 1e-12);
+        // At the slowest level a flit takes 8x longer but burns far less
+        // power: 23.6 mW x 8 links x 8 ns = 1.5104 nJ.
+        let slow = channel_at(0).with_link_count(8);
+        assert!((slow.flit_energy_j() - 1.5104e-9).abs() < 1e-15);
     }
 
     #[test]

@@ -70,7 +70,9 @@ impl Default for RegulatorParams {
 pub struct EnergyMeter {
     operating_j: f64,
     transition_j: f64,
+    retransmission_j: f64,
     voltage_transitions: u64,
+    retransmissions: u64,
 }
 
 impl EnergyMeter {
@@ -90,6 +92,14 @@ impl EnergyMeter {
         self.voltage_transitions += 1;
     }
 
+    /// Add the wire energy of one link-level retransmission (`energy_j`
+    /// joules — typically one flit serialization time at the channel's
+    /// current power).
+    pub fn add_retransmission(&mut self, energy_j: f64) {
+        self.retransmission_j += energy_j;
+        self.retransmissions += 1;
+    }
+
     /// Energy spent operating (power × time), in joules.
     pub fn operating_j(&self) -> f64 {
         self.operating_j
@@ -100,14 +110,24 @@ impl EnergyMeter {
         self.transition_j
     }
 
+    /// Overhead energy spent retransmitting corrupted flits, in joules.
+    pub fn retransmission_j(&self) -> f64 {
+        self.retransmission_j
+    }
+
     /// Total accumulated energy in joules.
     pub fn total_j(&self) -> f64 {
-        self.operating_j + self.transition_j
+        self.operating_j + self.transition_j + self.retransmission_j
     }
 
     /// Number of voltage transitions recorded.
     pub fn voltage_transitions(&self) -> u64 {
         self.voltage_transitions
+    }
+
+    /// Number of retransmissions charged.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
     }
 
     /// Average power over `cycles` router cycles, in watts.
@@ -122,9 +142,9 @@ impl EnergyMeter {
     }
 
     /// Reset the meter to zero, returning the prior totals
-    /// `(operating_j, transition_j)`.
-    pub fn reset(&mut self) -> (f64, f64) {
-        let out = (self.operating_j, self.transition_j);
+    /// `(operating_j, transition_j, retransmission_j)`.
+    pub fn reset(&mut self) -> (f64, f64, f64) {
+        let out = (self.operating_j, self.transition_j, self.retransmission_j);
         *self = Self::default();
         out
     }
@@ -172,11 +192,15 @@ mod tests {
         assert!((m.operating_j() - 2e-4).abs() < 1e-12);
         m.add_transition(2.72e-6);
         assert_eq!(m.voltage_transitions(), 1);
-        assert!((m.total_j() - (2e-4 + 2.72e-6)).abs() < 1e-12);
-        let (op, tr) = m.reset();
-        assert!(op > 0.0 && tr > 0.0);
+        m.add_retransmission(2e-10); // one flit time at 200 mW
+        assert_eq!(m.retransmissions(), 1);
+        assert!((m.retransmission_j() - 2e-10).abs() < 1e-18);
+        assert!((m.total_j() - (2e-4 + 2.72e-6 + 2e-10)).abs() < 1e-12);
+        let (op, tr, rx) = m.reset();
+        assert!(op > 0.0 && tr > 0.0 && rx > 0.0);
         assert_eq!(m.total_j(), 0.0);
         assert_eq!(m.voltage_transitions(), 0);
+        assert_eq!(m.retransmissions(), 0);
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub enum LevelError {
         /// The number of levels in the table.
         len: usize,
     },
+    /// A level's predicted bit-error rate exceeds the reliability floor the
+    /// builder was asked to enforce (see
+    /// [`crate::VfTableBuilder::require_ber`]).
+    BerFloorViolated(usize),
 }
 
 impl fmt::Display for LevelError {
@@ -43,6 +47,12 @@ impl fmt::Display for LevelError {
                 write!(
                     f,
                     "level index {index} out of range for table of {len} levels"
+                )
+            }
+            LevelError::BerFloorViolated(i) => {
+                write!(
+                    f,
+                    "predicted bit-error rate at level {i} exceeds the required floor"
                 )
             }
         }
@@ -90,6 +100,7 @@ mod tests {
             Box::new(LevelError::Empty),
             Box::new(LevelError::NonMonotonicFrequency(3)),
             Box::new(LevelError::OutOfRange { index: 12, len: 10 }),
+            Box::new(LevelError::BerFloorViolated(0)),
             Box::new(TransitionError::Busy { busy_until: 42 }),
             Box::new(TransitionError::AtMaxLevel),
         ];

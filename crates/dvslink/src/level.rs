@@ -1,4 +1,4 @@
-use crate::LevelError;
+use crate::{LevelError, NoiseModel};
 
 /// Number of discrete voltage/frequency levels in the paper's link model.
 pub const PAPER_LEVELS: usize = 10;
@@ -228,6 +228,92 @@ impl VfTable {
     pub fn iter(&self) -> std::slice::Iter<'_, VfLevel> {
         self.levels.iter()
     }
+
+    /// Start building a custom table level by level, optionally with a
+    /// reliability floor (see [`VfTableBuilder::require_ber`]).
+    pub fn builder() -> VfTableBuilder {
+        VfTableBuilder {
+            levels: Vec::new(),
+            ber_floor: None,
+        }
+    }
+}
+
+/// Incremental [`VfTable`] constructor.
+///
+/// Beyond the ordering invariants [`VfTable::from_levels`] always enforces,
+/// the builder can validate the table against a noise model at build time —
+/// a custom table whose low end signals worse than the required BER is
+/// rejected instead of silently trusted:
+///
+/// ```
+/// use dvslink::{LevelError, NoiseModel, VfTable};
+///
+/// // A level at 0.35 V has almost no margin above the 0.2 V receiver
+/// // minimum — hopeless at 1e-15, fine without the floor.
+/// let marginal = VfTable::builder()
+///     .push(1125, 0.35, 0.01)
+///     .push(9000, 2.5, 0.2);
+/// assert!(marginal.clone().build().is_ok());
+/// assert_eq!(
+///     marginal.require_ber(NoiseModel::paper(), 1e-15).build(),
+///     Err(LevelError::BerFloorViolated(0)),
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct VfTableBuilder {
+    levels: Vec<VfLevel>,
+    ber_floor: Option<(NoiseModel, f64)>,
+}
+
+impl VfTableBuilder {
+    /// Append a level (slowest first). `freq_x9_mhz` is the frequency
+    /// scaled by 9, as in [`VfTable::level`].
+    #[must_use]
+    pub fn push(mut self, freq_x9_mhz: u32, voltage_v: f64, power_w: f64) -> Self {
+        self.levels.push(VfLevel {
+            freq_x9_mhz,
+            voltage_v,
+            power_w,
+        });
+        self
+    }
+
+    /// Append pre-built levels (slowest first).
+    #[must_use]
+    pub fn levels(mut self, levels: impl IntoIterator<Item = VfLevel>) -> Self {
+        self.levels.extend(levels);
+        self
+    }
+
+    /// Require every level to signal at or below `target_ber` under
+    /// `noise`; [`build`](Self::build) fails with
+    /// [`LevelError::BerFloorViolated`] otherwise.
+    #[must_use]
+    pub fn require_ber(mut self, noise: NoiseModel, target_ber: f64) -> Self {
+        self.ber_floor = Some((noise, target_ber));
+        self
+    }
+
+    /// Validate and build the table.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`LevelError`]s as [`VfTable::from_levels`], plus
+    /// [`LevelError::BerFloorViolated`] with the offending (lowest
+    /// violating) level index when a [`require_ber`](Self::require_ber)
+    /// floor is not met.
+    pub fn build(self) -> Result<VfTable, LevelError> {
+        let table = VfTable::from_levels(self.levels)?;
+        if let Some((noise, target)) = self.ber_floor {
+            for (i, level) in table.iter().enumerate() {
+                if noise.ber(level) > target {
+                    return Err(LevelError::BerFloorViolated(i));
+                }
+            }
+        }
+        Ok(table)
+    }
 }
 
 impl<'a> IntoIterator for &'a VfTable {
@@ -367,6 +453,51 @@ mod tests {
         let t = VfTable::paper();
         let ratio = t.max().power_w() / t.min().power_w();
         assert!((ratio - 200.0 / 23.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_validates_ordering_and_ber_floor() {
+        // Plain build: same invariants as from_levels.
+        let t = VfTable::builder()
+            .push(1125, 0.9, 0.0236)
+            .push(9000, 2.5, 0.2)
+            .build()
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            VfTable::builder().build(),
+            Err(LevelError::Empty),
+            "empty builder is still an empty table"
+        );
+        assert_eq!(
+            VfTable::builder()
+                .push(9000, 2.5, 0.2)
+                .push(1125, 0.9, 0.0236)
+                .build(),
+            Err(LevelError::NonMonotonicFrequency(1))
+        );
+
+        // The paper table passes its own reliability claim through the
+        // builder path.
+        let ok = VfTable::builder()
+            .levels(VfTable::paper().iter().copied())
+            .require_ber(NoiseModel::paper(), 1e-15)
+            .build();
+        assert!(ok.is_ok());
+
+        // A very noisy environment pushes the low end over the floor, and
+        // the reported index is the lowest-voltage (first violating) level.
+        let noisy = NoiseModel {
+            sigma_v: 0.3,
+            ..NoiseModel::paper()
+        };
+        assert_eq!(
+            VfTable::builder()
+                .levels(VfTable::paper().iter().copied())
+                .require_ber(noisy, 1e-15)
+                .build(),
+            Err(LevelError::BerFloorViolated(0))
+        );
     }
 
     #[test]

@@ -63,7 +63,7 @@ mod timing;
 pub use channel::{ChannelPhase, DvsChannel, TransitionStats};
 pub use energy::{EnergyMeter, RegulatorParams};
 pub use error::{LevelError, TransitionError};
-pub use level::{VfLevel, VfTable, PAPER_LEVELS};
+pub use level::{VfLevel, VfTable, VfTableBuilder, PAPER_LEVELS};
 pub use noise::NoiseModel;
 pub use router_power::{RouterPowerBudget, RouterPowerComponent};
 pub use timing::TransitionTiming;

@@ -1,0 +1,242 @@
+use dvslink::{DvsChannel, NoiseModel, TransitionError, VfTable};
+use netsim::{LinkPolicy, WindowMeasures};
+
+/// Reliability constraint on DVS decisions: a noise model plus a bit-error
+/// rate the link must not exceed at any commanded operating point.
+///
+/// The paper assumes the whole table stays at 10⁻¹⁵ BER, so its policies can
+/// scale freely; in noisier environments (higher supply noise, tighter
+/// swings) the *lowest* levels of a table may violate the application's BER
+/// budget, and power-minded policies would happily park links there. The
+/// guard computes the lowest admissible level — the **reliability floor** —
+/// and [`GuardedPolicy`] enforces it around any inner policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityGuard {
+    noise: NoiseModel,
+    target_ber: f64,
+}
+
+impl ReliabilityGuard {
+    /// Guard requiring every commanded level to achieve `target_ber` (e.g.
+    /// `1e-15`) under `noise`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_ber` is not in `(0, 1)`.
+    pub fn new(noise: NoiseModel, target_ber: f64) -> Self {
+        assert!(
+            target_ber > 0.0 && target_ber < 1.0,
+            "BER target must be in (0, 1)"
+        );
+        Self { noise, target_ber }
+    }
+
+    /// The BER this guard enforces.
+    pub fn target_ber(&self) -> f64 {
+        self.target_ber
+    }
+
+    /// The lowest level of `table` that still meets the BER target.
+    ///
+    /// BER decreases monotonically with level in any well-formed table
+    /// (voltage and margin grow with level faster than frequency erodes the
+    /// timing slack), so the floor is found by scanning down from the top
+    /// and stopping at the first violation. If even the top level misses the
+    /// target the floor is the top level: the guard pins the link at its
+    /// most reliable point rather than pretending a safe level exists.
+    pub fn floor_level(&self, table: &VfTable) -> usize {
+        let mut floor = table.top();
+        for i in (0..=table.top()).rev() {
+            let level = table.get(i).expect("index within table");
+            if self.noise.ber(level) <= self.target_ber {
+                floor = i;
+            } else {
+                break;
+            }
+        }
+        floor
+    }
+}
+
+/// A [`LinkPolicy`] decorator that keeps any inner policy above a
+/// [`ReliabilityGuard`]'s floor.
+///
+/// On every window it (re)establishes the channel's minimum level (so the
+/// inner policy's step-down requests at the floor fail with
+/// `AtMinLevel`, which every policy in this crate already tolerates), and
+/// if the channel somehow sits *below* the floor — e.g. the floor is being
+/// introduced on a running network — it steps up toward it, taking
+/// precedence over the inner policy for that window.
+pub struct GuardedPolicy {
+    guard: ReliabilityGuard,
+    inner: Box<dyn LinkPolicy>,
+    floor: Option<usize>,
+}
+
+impl GuardedPolicy {
+    /// Wrap `inner` so it never drives the channel below `guard`'s floor.
+    pub fn new(guard: ReliabilityGuard, inner: Box<dyn LinkPolicy>) -> Self {
+        Self {
+            guard,
+            inner,
+            floor: None,
+        }
+    }
+
+    /// The floor computed for the channel's table, once known (after the
+    /// first window).
+    pub fn floor(&self) -> Option<usize> {
+        self.floor
+    }
+}
+
+impl LinkPolicy for GuardedPolicy {
+    fn window_cycles(&self) -> u64 {
+        self.inner.window_cycles()
+    }
+
+    fn on_window(&mut self, measures: &WindowMeasures, channel: &mut DvsChannel) {
+        let floor = *self
+            .floor
+            .get_or_insert_with(|| self.guard.floor_level(channel.table()));
+        channel.set_min_level(floor);
+        if channel.level() < floor && channel.is_stable() {
+            match channel.request_step_up(measures.now) {
+                Ok(()) | Err(TransitionError::AtMaxLevel) => {}
+                Err(e) => unreachable!("stable channel rejected step up: {e}"),
+            }
+            return;
+        }
+        self.inner.on_window(measures, channel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReactiveDvsPolicy;
+    use dvslink::{RegulatorParams, TransitionTiming};
+
+    fn channel_at(level: usize) -> DvsChannel {
+        DvsChannel::new(
+            VfTable::paper(),
+            TransitionTiming::paper_conservative(),
+            RegulatorParams::paper(),
+            level,
+        )
+    }
+
+    fn idle_measures(now: u64) -> WindowMeasures {
+        WindowMeasures {
+            window_cycles: 200,
+            flits_sent: 0,
+            link_slots: 200,
+            buf_occupancy_sum: 0,
+            buf_capacity: 128,
+            now,
+        }
+    }
+
+    #[test]
+    fn paper_noise_floor_is_level_zero() {
+        // The paper's table meets 1e-15 everywhere, so the guard is inert.
+        let g = ReliabilityGuard::new(NoiseModel::paper(), 1e-15);
+        assert_eq!(g.floor_level(&VfTable::paper()), 0);
+    }
+
+    #[test]
+    fn noisy_environment_raises_the_floor() {
+        let noisy = NoiseModel {
+            sigma_v: 0.18,
+            ..NoiseModel::paper()
+        };
+        let g = ReliabilityGuard::new(noisy, 1e-6);
+        let floor = g.floor_level(&VfTable::paper());
+        assert!(floor > 0, "noisy link cannot run the lowest levels");
+        let table = VfTable::paper();
+        assert!(noisy.ber(table.get(floor).unwrap()) <= 1e-6);
+        assert!(noisy.ber(table.get(floor - 1).unwrap()) > 1e-6);
+        // Tighter targets give higher (or equal) floors; at 1e-12 not even
+        // the top level qualifies, so the guard pins the link there.
+        let tighter = ReliabilityGuard::new(noisy, 1e-12).floor_level(&table);
+        assert!(tighter >= floor);
+        assert_eq!(tighter, table.top());
+    }
+
+    #[test]
+    fn hopeless_table_floors_at_the_top() {
+        let hopeless = NoiseModel {
+            sigma_v: 10.0,
+            ..NoiseModel::paper()
+        };
+        let g = ReliabilityGuard::new(hopeless, 1e-15);
+        assert_eq!(g.floor_level(&VfTable::paper()), VfTable::paper().top());
+    }
+
+    #[test]
+    fn guarded_policy_stops_descent_at_the_floor() {
+        let noisy = NoiseModel {
+            sigma_v: 0.18,
+            ..NoiseModel::paper()
+        };
+        let guard = ReliabilityGuard::new(noisy, 1e-6);
+        let floor = guard.floor_level(&VfTable::paper());
+        assert!(floor < 9, "test needs room to descend");
+        let mut p = GuardedPolicy::new(guard, Box::new(ReactiveDvsPolicy::paper()));
+        let mut ch = channel_at(9);
+        // An endlessly idle link: the reactive policy wants level 0, the
+        // guard must hold it at the floor.
+        let mut now = 0;
+        for _ in 0..200 {
+            now += 200;
+            ch.advance(now);
+            if ch.is_stable() {
+                p.on_window(&idle_measures(now), &mut ch);
+            }
+        }
+        while !ch.is_stable() {
+            now += 200;
+            ch.advance(now);
+        }
+        assert_eq!(ch.level(), floor);
+        assert_eq!(ch.min_level(), floor);
+        assert_eq!(p.floor(), Some(floor));
+    }
+
+    #[test]
+    fn guarded_policy_recovers_a_channel_below_the_floor() {
+        let noisy = NoiseModel {
+            sigma_v: 0.18,
+            ..NoiseModel::paper()
+        };
+        let guard = ReliabilityGuard::new(noisy, 1e-6);
+        let floor = guard.floor_level(&VfTable::paper());
+        assert!(floor >= 2, "test needs headroom below the floor");
+        // Channel starts below the floor (as if the guard were switched on
+        // mid-run): the guard steps it back up, overriding the idle-driven
+        // step-down the inner policy would issue.
+        let mut p = GuardedPolicy::new(guard, Box::new(ReactiveDvsPolicy::paper()));
+        let mut ch = channel_at(0);
+        let mut now = 0;
+        // Up-steps pay the ~10 µs voltage ramp each, so give the guard
+        // plenty of windows to climb the whole way.
+        for _ in 0..2_000 {
+            now += 200;
+            ch.advance(now);
+            if ch.is_stable() {
+                p.on_window(&idle_measures(now), &mut ch);
+            }
+        }
+        while !ch.is_stable() {
+            now += 200;
+            ch.advance(now);
+        }
+        assert_eq!(ch.level(), floor);
+    }
+
+    #[test]
+    #[should_panic(expected = "BER target")]
+    fn zero_target_panics() {
+        let _ = ReliabilityGuard::new(NoiseModel::paper(), 0.0);
+    }
+}

@@ -47,6 +47,7 @@
 
 mod dynamic;
 mod ewma;
+mod guard;
 mod hardware;
 mod history;
 mod reactive;
@@ -55,6 +56,7 @@ mod thresholds;
 
 pub use dynamic::DynamicThresholdPolicy;
 pub use ewma::Ewma;
+pub use guard::{GuardedPolicy, ReliabilityGuard};
 pub use hardware::HardwareCost;
 pub use history::{HistoryDvsConfig, HistoryDvsPolicy};
 pub use reactive::ReactiveDvsPolicy;

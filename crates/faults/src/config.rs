@@ -1,0 +1,263 @@
+//! Fault-injection configuration.
+
+use std::error::Error;
+use std::fmt;
+
+use dvslink::NoiseModel;
+
+/// Transient link-outage episodes.
+///
+/// Outages model environmental upsets (supply droop, coupling bursts) that
+/// take a channel down entirely for a bounded interval. Episodes are drawn
+/// per channel from a geometric inter-arrival distribution, independent of
+/// traffic, so their schedule is fixed by the fault seed alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageConfig {
+    /// Probability that a new outage begins on any given healthy cycle.
+    pub rate_per_cycle: f64,
+    /// Length of each outage in router cycles.
+    pub duration_cycles: u64,
+}
+
+/// Link-level recovery (ACK/NACK retransmission) parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Cycles from a corrupted transmission to the NACK arriving back at
+    /// the sender (the earliest the retransmission can start).
+    pub ack_round_trip_cycles: u64,
+    /// Consecutive failed retransmissions of one flit tolerated before the
+    /// channel fail-stops.
+    pub max_retries: u32,
+    /// Cap on the exponential-backoff shift: retry `n` waits
+    /// `ack_round_trip_cycles << min(n - 1, backoff_cap)` cycles.
+    pub backoff_cap: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            ack_round_trip_cycles: 4,
+            max_retries: 8,
+            backoff_cap: 6,
+        }
+    }
+}
+
+/// Configuration for the link-fault subsystem.
+///
+/// Construct with [`FaultConfig::new`] and customize with the `with_*`
+/// builders:
+///
+/// ```
+/// use faults::{FaultConfig, OutageConfig};
+/// use dvslink::NoiseModel;
+///
+/// let noisy = NoiseModel { sigma_v: 0.18, ..NoiseModel::paper() };
+/// let cfg = FaultConfig::new(0x11d5)
+///     .with_noise(noisy)
+///     .with_outage(OutageConfig { rate_per_cycle: 1e-5, duration_cycles: 200 });
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the per-channel fault streams (independent of the workload
+    /// seed; per-channel streams are derived from `(seed, node, port)`).
+    pub seed: u64,
+    /// Noise model that maps each V/f level to a predicted BER.
+    pub noise: NoiseModel,
+    /// Multiplier applied to the predicted BER before converting to a
+    /// per-flit corruption probability (accelerated-test knob; `1.0` is
+    /// the model's prediction, `0.0` disables corruption entirely).
+    pub ber_scale: f64,
+    /// Bits per flit exposed to link noise.
+    pub flit_bits: u32,
+    /// Width of the CRC syndrome in bits (≤ 32). A corrupted flit goes
+    /// *undetected* with probability `2^-detection_bits`; `0` models links
+    /// with no error detection (every corruption is a residual error).
+    pub detection_bits: u32,
+    /// Optional transient-outage process.
+    pub outage: Option<OutageConfig>,
+    /// Retransmission protocol parameters.
+    pub recovery: RecoveryConfig,
+}
+
+impl FaultConfig {
+    /// Paper-noise defaults: 32-bit flits, 16-bit CRC, no outages,
+    /// [`RecoveryConfig::default`] recovery.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            noise: NoiseModel::paper(),
+            ber_scale: 1.0,
+            flit_bits: 32,
+            detection_bits: 16,
+            outage: None,
+            recovery: RecoveryConfig::default(),
+        }
+    }
+
+    /// Replace the noise model.
+    #[must_use]
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Replace the BER multiplier.
+    #[must_use]
+    pub fn with_ber_scale(mut self, scale: f64) -> Self {
+        self.ber_scale = scale;
+        self
+    }
+
+    /// Enable transient outages.
+    #[must_use]
+    pub fn with_outage(mut self, outage: OutageConfig) -> Self {
+        self.outage = Some(outage);
+        self
+    }
+
+    /// Replace the recovery parameters.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Replace the syndrome width.
+    #[must_use]
+    pub fn with_detection_bits(mut self, bits: u32) -> Self {
+        self.detection_bits = bits;
+        self
+    }
+
+    /// Check the configuration for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultConfigError`] found.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        if !self.ber_scale.is_finite() || self.ber_scale < 0.0 {
+            return Err(FaultConfigError::InvalidBerScale);
+        }
+        if self.flit_bits == 0 {
+            return Err(FaultConfigError::ZeroFlitBits);
+        }
+        if self.detection_bits > 32 {
+            return Err(FaultConfigError::DetectionBitsTooWide);
+        }
+        if let Some(o) = &self.outage {
+            if !o.rate_per_cycle.is_finite() || !(0.0..1.0).contains(&o.rate_per_cycle) {
+                return Err(FaultConfigError::InvalidOutageRate);
+            }
+            if o.duration_cycles == 0 {
+                return Err(FaultConfigError::ZeroOutageDuration);
+            }
+        }
+        if self.recovery.ack_round_trip_cycles == 0 {
+            return Err(FaultConfigError::ZeroAckRoundTrip);
+        }
+        Ok(())
+    }
+}
+
+/// Rejection reasons from [`FaultConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultConfigError {
+    /// `ber_scale` is negative, NaN, or infinite.
+    InvalidBerScale,
+    /// `flit_bits` is zero.
+    ZeroFlitBits,
+    /// `detection_bits` exceeds 32.
+    DetectionBitsTooWide,
+    /// Outage rate is not a probability in `[0, 1)`.
+    InvalidOutageRate,
+    /// Outage duration is zero cycles.
+    ZeroOutageDuration,
+    /// NACK round trip is zero cycles.
+    ZeroAckRoundTrip,
+}
+
+impl fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidBerScale => write!(f, "ber_scale must be finite and non-negative"),
+            Self::ZeroFlitBits => write!(f, "flit_bits must be at least 1"),
+            Self::DetectionBitsTooWide => write!(f, "detection_bits must be at most 32"),
+            Self::InvalidOutageRate => write!(f, "outage rate must lie in [0, 1)"),
+            Self::ZeroOutageDuration => write!(f, "outage duration must be at least 1 cycle"),
+            Self::ZeroAckRoundTrip => write!(f, "ack round trip must be at least 1 cycle"),
+        }
+    }
+}
+
+impl Error for FaultConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert_eq!(FaultConfig::new(1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        assert_eq!(
+            FaultConfig::new(1).with_ber_scale(-1.0).validate(),
+            Err(FaultConfigError::InvalidBerScale)
+        );
+        assert_eq!(
+            FaultConfig::new(1).with_ber_scale(f64::NAN).validate(),
+            Err(FaultConfigError::InvalidBerScale)
+        );
+        let mut cfg = FaultConfig::new(1);
+        cfg.flit_bits = 0;
+        assert_eq!(cfg.validate(), Err(FaultConfigError::ZeroFlitBits));
+        assert_eq!(
+            FaultConfig::new(1).with_detection_bits(33).validate(),
+            Err(FaultConfigError::DetectionBitsTooWide)
+        );
+        assert_eq!(
+            FaultConfig::new(1)
+                .with_outage(OutageConfig {
+                    rate_per_cycle: 1.0,
+                    duration_cycles: 10,
+                })
+                .validate(),
+            Err(FaultConfigError::InvalidOutageRate)
+        );
+        assert_eq!(
+            FaultConfig::new(1)
+                .with_outage(OutageConfig {
+                    rate_per_cycle: 0.1,
+                    duration_cycles: 0,
+                })
+                .validate(),
+            Err(FaultConfigError::ZeroOutageDuration)
+        );
+        let mut cfg = FaultConfig::new(1);
+        cfg.recovery.ack_round_trip_cycles = 0;
+        assert_eq!(cfg.validate(), Err(FaultConfigError::ZeroAckRoundTrip));
+    }
+
+    #[test]
+    fn error_messages_are_tidy() {
+        let errors = [
+            FaultConfigError::InvalidBerScale,
+            FaultConfigError::ZeroFlitBits,
+            FaultConfigError::DetectionBitsTooWide,
+            FaultConfigError::InvalidOutageRate,
+            FaultConfigError::ZeroOutageDuration,
+            FaultConfigError::ZeroAckRoundTrip,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic link-fault injection and recovery modeling.
+//!
+//! The paper's §2 premise is that DVS trades noise margin for power: lowering
+//! a link's voltage raises its bit-error rate (BER). [`dvslink::NoiseModel`]
+//! makes that trade-off *predictable*; this crate makes it *happen*. It
+//! provides:
+//!
+//! - a per-channel, seed-derived fault stream ([`FaultRng`], SplitMix64 —
+//!   the same discipline as the sweep runner's per-point seeding, so fault
+//!   outcomes are bit-identical at any worker count);
+//! - per-flit corruption draws at the BER the noise model predicts for the
+//!   channel's *current* V/f level, with CRC-style detection (an
+//!   `detection_bits`-wide syndrome; an all-zero syndrome models an
+//!   undetected residual error) — see [`ChannelFaultModel`];
+//! - a bounded-retry ACK/NACK recovery protocol with exponential backoff
+//!   that degrades to a permanent fail-stop state when retries are
+//!   exhausted;
+//! - configurable transient link-outage episodes (geometric inter-arrival,
+//!   fixed duration);
+//! - the [`crc16_ccitt`] checksum used by the simulator to tag flits.
+//!
+//! The crate deliberately depends only on `dvslink` (for the V/f table and
+//! noise model); `netsim` consumes it at each router output port.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod crc;
+mod model;
+mod rng;
+mod stats;
+
+pub use config::{FaultConfig, FaultConfigError, OutageConfig, RecoveryConfig};
+pub use crc::crc16_ccitt;
+pub use model::{ChannelFaultModel, TransmitOutcome};
+pub use rng::FaultRng;
+pub use stats::FaultStats;

@@ -1,0 +1,354 @@
+//! Per-channel fault state machine.
+
+use dvslink::{Cycles, VfTable};
+
+use crate::config::FaultConfig;
+use crate::rng::FaultRng;
+use crate::stats::FaultStats;
+
+/// What happened to one transmission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransmitOutcome {
+    /// The flit crossed the link. `residual` is true when it was corrupted
+    /// but the CRC syndrome missed it — the flit is delivered with a bad
+    /// payload and counted as a residual error.
+    Deliver {
+        /// Whether the delivery carries an undetected error.
+        residual: bool,
+    },
+    /// The flit was corrupted and detected; the sender holds it for
+    /// retransmission after the NACK round trip plus backoff. The slot
+    /// (and the wire energy of the retransmission) is consumed.
+    Nack,
+    /// Retries were exhausted; the channel is permanently fail-stopped.
+    FailStop,
+}
+
+/// Fault state for one channel: the corruption/outage processes, the
+/// retry protocol state, and the counters.
+///
+/// Owned by the router output port; the simulator calls [`tick`] once per
+/// cycle, gates transmission on [`link_up`]/[`holding_off`], and reports
+/// each attempt through [`on_transmit`].
+///
+/// [`tick`]: ChannelFaultModel::tick
+/// [`link_up`]: ChannelFaultModel::link_up
+/// [`holding_off`]: ChannelFaultModel::holding_off
+/// [`on_transmit`]: ChannelFaultModel::on_transmit
+#[derive(Debug, Clone)]
+pub struct ChannelFaultModel {
+    rng: FaultRng,
+    /// Per-level probability that a flit-sized transfer is corrupted.
+    p_flit: Vec<f64>,
+    syndrome_mask: u64,
+    ack_round_trip: u64,
+    max_retries: u32,
+    backoff_cap: u32,
+    outage: Option<OutageState>,
+    head_retries: u32,
+    blocked_until: Cycles,
+    failed: bool,
+    stats: FaultStats,
+}
+
+#[derive(Debug, Clone)]
+struct OutageState {
+    rate: f64,
+    duration: u64,
+    next_at: Cycles,
+    until: Cycles,
+}
+
+impl ChannelFaultModel {
+    /// Build the fault state for channel `(node, port)` under `cfg`,
+    /// precomputing per-flit corruption probabilities for every level of
+    /// `table` from the noise model's BER prediction.
+    pub fn new(cfg: &FaultConfig, table: &VfTable, node: u64, port: u64) -> Self {
+        let mut rng = FaultRng::for_channel(cfg.seed, node, port);
+        let p_flit = table
+            .iter()
+            .map(|level| {
+                let ber = (cfg.noise.ber(level) * cfg.ber_scale).clamp(0.0, 1.0);
+                // P(any of flit_bits bits flips) — exact, not the n·BER
+                // approximation, so accelerated ber_scale values stay
+                // probabilities.
+                1.0 - (1.0 - ber).powi(cfg.flit_bits as i32)
+            })
+            .collect();
+        let syndrome_mask = if cfg.detection_bits == 0 {
+            0
+        } else {
+            u64::MAX >> (64 - cfg.detection_bits)
+        };
+        let outage = cfg.outage.filter(|o| o.rate_per_cycle > 0.0).map(|o| {
+            let mut state = OutageState {
+                rate: o.rate_per_cycle,
+                duration: o.duration_cycles,
+                next_at: 0,
+                until: 0,
+            };
+            state.next_at = state.draw_gap(&mut rng);
+            state
+        });
+        Self {
+            rng,
+            p_flit,
+            syndrome_mask,
+            ack_round_trip: cfg.recovery.ack_round_trip_cycles,
+            max_retries: cfg.recovery.max_retries,
+            backoff_cap: cfg.recovery.backoff_cap,
+            outage,
+            head_retries: 0,
+            blocked_until: 0,
+            failed: false,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Advance the outage process to `now`. Call once per cycle.
+    pub fn tick(&mut self, now: Cycles) {
+        let Some(o) = &mut self.outage else { return };
+        if self.failed {
+            return;
+        }
+        if now >= o.next_at && now >= o.until {
+            o.until = now + o.duration;
+            self.stats.outages += 1;
+            let gap = o.draw_gap(&mut self.rng);
+            o.next_at = o.until.saturating_add(gap);
+        }
+        if now < o.until {
+            self.stats.outage_cycles += 1;
+        }
+    }
+
+    /// Whether the link can carry flits at all (not fail-stopped, not in
+    /// an outage episode).
+    pub fn link_up(&self, now: Cycles) -> bool {
+        !self.failed && self.outage.as_ref().is_none_or(|o| now >= o.until)
+    }
+
+    /// Whether the sender is waiting out a NACK round trip / backoff.
+    pub fn holding_off(&self, now: Cycles) -> bool {
+        now < self.blocked_until
+    }
+
+    /// Report a transmission attempt of the head flit at V/f level
+    /// `level`; returns what the link did with it and updates the retry
+    /// state and counters.
+    pub fn on_transmit(&mut self, now: Cycles, level: usize) -> TransmitOutcome {
+        debug_assert!(!self.failed, "transmit on a fail-stopped channel");
+        self.stats.transmitted += 1;
+        let u = self.rng.next_f64();
+        if u >= self.p_flit[level] {
+            self.head_retries = 0;
+            return TransmitOutcome::Deliver { residual: false };
+        }
+        self.stats.corrupted += 1;
+        let syndrome = self.rng.next_u64() & self.syndrome_mask;
+        if syndrome == 0 {
+            // The corruption pattern aliases to a valid codeword: the CRC
+            // check passes downstream and the error escapes.
+            self.stats.residual_errors += 1;
+            self.head_retries = 0;
+            return TransmitOutcome::Deliver { residual: true };
+        }
+        if self.head_retries >= self.max_retries {
+            self.failed = true;
+            return TransmitOutcome::FailStop;
+        }
+        self.head_retries += 1;
+        self.stats.retransmissions += 1;
+        let shift = (self.head_retries - 1).min(self.backoff_cap);
+        self.blocked_until = now + (self.ack_round_trip << shift);
+        TransmitOutcome::Nack
+    }
+
+    /// Whether the channel has fail-stopped.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Current counters (with `failed_links` derived from the fail-stop
+    /// flag).
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            failed_links: u64::from(self.failed),
+            ..self.stats
+        }
+    }
+
+    /// Zero the counters (measurement-window rebase). The fail-stop flag
+    /// and the outage/retry schedules are untouched.
+    pub fn reset_stats(&mut self) {
+        self.stats = FaultStats::default();
+    }
+}
+
+impl OutageState {
+    /// Geometric gap (in cycles) until the next outage begins.
+    fn draw_gap(&mut self, rng: &mut FaultRng) -> u64 {
+        // Inverse-CDF sampling: skip = floor(ln(1-u) / ln(1-p)). Drawn
+        // once per episode, so outage schedules are traffic-independent.
+        let u = rng.next_f64();
+        let gap = ((1.0 - u).ln() / (1.0 - self.rate).ln()).floor();
+        if gap >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            1 + gap as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{OutageConfig, RecoveryConfig};
+
+    fn model(cfg: &FaultConfig) -> ChannelFaultModel {
+        ChannelFaultModel::new(cfg, &VfTable::paper(), 0, 0)
+    }
+
+    #[test]
+    fn paper_noise_never_corrupts_in_practice() {
+        // Paper BER ≤ 1e-15: a million flits at the lowest level should
+        // all cross clean.
+        let mut m = model(&FaultConfig::new(3));
+        for t in 0..1_000_000u64 {
+            assert_eq!(
+                m.on_transmit(t, 0),
+                TransmitOutcome::Deliver { residual: false }
+            );
+        }
+        let s = m.stats();
+        assert_eq!(s.transmitted, 1_000_000);
+        assert_eq!(s.corrupted, 0);
+    }
+
+    #[test]
+    fn scaled_ber_corrupts_and_retries() {
+        // Force p_flit to 1: every attempt corrupts; detected ones NACK
+        // with exponential backoff, then the channel fail-stops.
+        let cfg = FaultConfig::new(9)
+            .with_ber_scale(f64::INFINITY)
+            .with_recovery(RecoveryConfig {
+                ack_round_trip_cycles: 4,
+                max_retries: 3,
+                backoff_cap: 6,
+            });
+        let mut m = model(&cfg);
+        let mut now = 0;
+        let mut outcomes = Vec::new();
+        loop {
+            while m.holding_off(now) {
+                now += 1;
+            }
+            let o = m.on_transmit(now, 0);
+            outcomes.push(o);
+            if o == TransmitOutcome::FailStop {
+                break;
+            }
+            assert!(outcomes.len() < 100, "never fail-stopped");
+        }
+        // With a 16-bit syndrome, undetected corruption is ~1.5e-5 per
+        // attempt — overwhelmingly we see Nack, Nack, Nack, FailStop.
+        let s = m.stats();
+        assert!(m.is_failed());
+        assert_eq!(s.failed_links, 1);
+        assert_eq!(s.corrupted, s.transmitted);
+        assert!(s.retransmissions <= 3);
+        assert!(!m.link_up(now));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let cfg = FaultConfig::new(1)
+            .with_ber_scale(f64::INFINITY)
+            .with_recovery(RecoveryConfig {
+                ack_round_trip_cycles: 2,
+                max_retries: 10,
+                backoff_cap: 3,
+            });
+        let mut m = model(&cfg);
+        let mut delays = Vec::new();
+        let mut now = 0;
+        for _ in 0..6 {
+            match m.on_transmit(now, 0) {
+                TransmitOutcome::Nack => {
+                    delays.push(m.blocked_until - now);
+                    now = m.blocked_until;
+                }
+                TransmitOutcome::Deliver { .. } => {} // rare undetected alias
+                TransmitOutcome::FailStop => break,
+            }
+        }
+        // 2, 4, 8, 16, then capped at 16 (shift cap 3).
+        assert!(delays.starts_with(&[2, 4, 8, 16]));
+        assert!(delays.iter().all(|&d| d <= 16));
+    }
+
+    #[test]
+    fn zero_detection_bits_means_every_corruption_escapes() {
+        let cfg = FaultConfig::new(5)
+            .with_ber_scale(f64::INFINITY)
+            .with_detection_bits(0);
+        let mut m = model(&cfg);
+        for t in 0..100 {
+            assert_eq!(
+                m.on_transmit(t, 0),
+                TransmitOutcome::Deliver { residual: true }
+            );
+        }
+        let s = m.stats();
+        assert_eq!(s.residual_errors, 100);
+        assert_eq!(s.retransmissions, 0);
+    }
+
+    #[test]
+    fn outages_follow_the_seeded_schedule() {
+        let cfg = FaultConfig::new(17).with_outage(OutageConfig {
+            rate_per_cycle: 0.01,
+            duration_cycles: 25,
+        });
+        let mut a = model(&cfg);
+        let mut b = model(&cfg);
+        let mut down_cycles = 0u64;
+        for t in 0..10_000 {
+            a.tick(t);
+            b.tick(t);
+            assert_eq!(a.link_up(t), b.link_up(t));
+            if !a.link_up(t) {
+                down_cycles += 1;
+            }
+        }
+        let s = a.stats();
+        assert_eq!(s, b.stats());
+        assert!(s.outages > 0, "expected at least one outage in 10k cycles");
+        assert_eq!(s.outage_cycles, down_cycles);
+        // Each episode contributes at most its 25-cycle duration (the last
+        // one may be truncated by the end of the run).
+        assert!(s.outage_cycles <= s.outages * 25);
+    }
+
+    #[test]
+    fn stats_reset_keeps_fail_state() {
+        let cfg = FaultConfig::new(2)
+            .with_ber_scale(f64::INFINITY)
+            .with_recovery(RecoveryConfig {
+                ack_round_trip_cycles: 1,
+                max_retries: 0,
+                backoff_cap: 0,
+            });
+        let mut m = model(&cfg);
+        // max_retries = 0: the first detected corruption fail-stops.
+        let mut now = 0;
+        while m.on_transmit(now, 0) != TransmitOutcome::FailStop {
+            now += 100;
+        }
+        assert!(m.is_failed());
+        m.reset_stats();
+        let s = m.stats();
+        assert_eq!(s.transmitted, 0);
+        assert_eq!(s.failed_links, 1, "fail-stop survives a stats rebase");
+    }
+}

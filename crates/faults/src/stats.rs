@@ -1,0 +1,107 @@
+//! Per-channel fault and recovery counters.
+
+/// Fault, retry, and residual-error counters for one channel (or an
+/// aggregate over channels — see [`FaultStats::accumulate`]).
+///
+/// All counters except `failed_links` are rebased when the network enters
+/// its measurement window, mirroring `NetStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transmission attempts (including retransmissions).
+    pub transmitted: u64,
+    /// Attempts corrupted by the noise process (detected + undetected).
+    pub corrupted: u64,
+    /// Retransmissions scheduled after a detected corruption.
+    pub retransmissions: u64,
+    /// Corrupted flits the CRC syndrome missed — delivered with bad
+    /// payload (the reliability the guard is supposed to bound).
+    pub residual_errors: u64,
+    /// Transient outage episodes begun.
+    pub outages: u64,
+    /// Cycles spent inside outage episodes.
+    pub outage_cycles: u64,
+    /// Channels in the permanent fail-stop state (0 or 1 per channel;
+    /// sums across an aggregate). Not rebased at measurement start.
+    pub failed_links: u64,
+}
+
+impl FaultStats {
+    /// Add `other`'s counters into `self`.
+    pub fn accumulate(&mut self, other: &FaultStats) {
+        self.transmitted += other.transmitted;
+        self.corrupted += other.corrupted;
+        self.retransmissions += other.retransmissions;
+        self.residual_errors += other.residual_errors;
+        self.outages += other.outages;
+        self.outage_cycles += other.outage_cycles;
+        self.failed_links += other.failed_links;
+    }
+
+    /// Sum a collection of per-channel stats.
+    pub fn total<'a>(stats: impl IntoIterator<Item = &'a FaultStats>) -> FaultStats {
+        let mut acc = FaultStats::default();
+        for s in stats {
+            acc.accumulate(s);
+        }
+        acc
+    }
+
+    /// Attempts that were delivered downstream (clean or with an
+    /// undetected residual error).
+    pub fn delivered_attempts(&self) -> u64 {
+        self.transmitted - (self.corrupted - self.residual_errors)
+    }
+
+    /// Residual errors per delivered flit (`0` when nothing delivered).
+    pub fn residual_error_rate(&self) -> f64 {
+        let delivered = self.delivered_attempts();
+        if delivered == 0 {
+            0.0
+        } else {
+            self.residual_errors as f64 / delivered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let a = FaultStats {
+            transmitted: 10,
+            corrupted: 3,
+            retransmissions: 2,
+            residual_errors: 1,
+            outages: 1,
+            outage_cycles: 50,
+            failed_links: 0,
+        };
+        let b = FaultStats {
+            transmitted: 5,
+            corrupted: 1,
+            retransmissions: 1,
+            residual_errors: 0,
+            outages: 0,
+            outage_cycles: 0,
+            failed_links: 1,
+        };
+        let t = FaultStats::total([&a, &b]);
+        assert_eq!(t.transmitted, 15);
+        assert_eq!(t.corrupted, 4);
+        assert_eq!(t.retransmissions, 3);
+        assert_eq!(t.residual_errors, 1);
+        assert_eq!(t.outages, 1);
+        assert_eq!(t.outage_cycles, 50);
+        assert_eq!(t.failed_links, 1);
+        // 15 attempts, 4 corrupted of which 1 slipped through: 12 delivered.
+        assert_eq!(t.delivered_attempts(), 12);
+        assert!((t.residual_error_rate() - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rate_is_zero() {
+        assert_eq!(FaultStats::default().residual_error_rate(), 0.0);
+    }
+}

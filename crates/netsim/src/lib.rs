@@ -21,8 +21,10 @@
 //! - [`NetStats`] aggregates packet latency (creation to tail ejection,
 //!   including source queuing), throughput, and network link power.
 //!
-//! The simulator is deterministic: no randomness is used internally, and all
-//! arbitration is round-robin.
+//! The simulator is deterministic: all arbitration is round-robin and the
+//! only internal randomness is the optional link-fault subsystem
+//! ([`NetworkConfig::faults`]), which draws from per-channel seed-derived
+//! streams and is therefore bit-identical across runs and worker counts.
 //!
 //! # Example
 //!
@@ -51,6 +53,7 @@ mod stats;
 mod topology;
 
 pub use dvslink::Cycles;
+pub use faults::{FaultConfig, FaultConfigError, FaultStats, OutageConfig, RecoveryConfig};
 pub use flit::{Flit, FlitKind, PacketId};
 pub use network::{Network, NetworkConfig, NetworkError};
 pub use policy::{LinkPolicy, StaticLevelPolicy, WindowMeasures};

@@ -2,6 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 use dvslink::{DvsChannel, RegulatorParams, TransitionTiming, VfTable};
+use faults::{ChannelFaultModel, FaultConfig, FaultConfigError, FaultStats};
 
 use crate::flit::make_packet;
 use crate::policy::{LinkPolicy, StaticLevelPolicy};
@@ -45,6 +46,10 @@ pub struct NetworkConfig {
     pub links_per_channel: u32,
     /// Level every channel starts at.
     pub initial_level: usize,
+    /// Link-fault injection and recovery configuration. `None` disables the
+    /// fault subsystem entirely: the hot path is unchanged and all outputs
+    /// are byte-identical to a build without fault support.
+    pub faults: Option<FaultConfig>,
 }
 
 impl NetworkConfig {
@@ -65,6 +70,7 @@ impl NetworkConfig {
             regulator: RegulatorParams::paper(),
             links_per_channel: 8,
             initial_level: VfTable::paper().top(),
+            faults: None,
         }
     }
 }
@@ -92,6 +98,8 @@ pub enum NetworkError {
     },
     /// Channels must bundle at least one link.
     NoLinks,
+    /// The fault configuration is inconsistent.
+    BadFaultConfig(FaultConfigError),
 }
 
 impl fmt::Display for NetworkError {
@@ -109,6 +117,7 @@ impl fmt::Display for NetworkError {
                 write!(f, "initial level {level} out of range for table of {table_len} levels")
             }
             NetworkError::NoLinks => write!(f, "channels must bundle at least one link"),
+            NetworkError::BadFaultConfig(e) => write!(f, "bad fault configuration: {e}"),
         }
     }
 }
@@ -185,6 +194,9 @@ impl Network {
         if config.links_per_channel == 0 {
             return Err(NetworkError::NoLinks);
         }
+        if let Some(fc) = &config.faults {
+            fc.validate().map_err(NetworkError::BadFaultConfig)?;
+        }
         let pipeline_extra = Cycles::from(config.router_pipeline_stages.saturating_sub(4));
         let staging_cap = if config.staging_capacity == 0 {
             pipeline_extra as usize + 4
@@ -210,7 +222,10 @@ impl Network {
                         config.initial_level,
                     )
                     .with_link_count(config.links_per_channel);
-                    (channel, make_policy(node, port))
+                    let fault = config.faults.as_ref().map(|fc| {
+                        ChannelFaultModel::new(fc, &config.table, node as u64, port as u64)
+                    });
+                    (channel, make_policy(node, port), fault)
                 })
             })
             .collect();
@@ -334,6 +349,13 @@ impl Network {
     pub fn begin_measurement(&mut self) {
         self.stats.reset(self.time);
         self.energy_rebase_j = self.total_energy_uncorrected();
+        for r in &mut self.routers {
+            for o in r.outputs.iter_mut().flatten() {
+                if let Some(f) = o.fault.as_mut() {
+                    f.reset_stats();
+                }
+            }
+        }
     }
 
     /// Instantaneous link power of the whole network, in watts.
@@ -416,6 +438,23 @@ impl Network {
                 total.initiated_down += s.initiated_down;
                 total.completed += s.completed;
                 total.disabled_cycles += s.disabled_cycles;
+            }
+        }
+        total
+    }
+
+    /// Aggregate fault/retransmission counters across every channel since
+    /// the last [`begin_measurement`](Self::begin_measurement), or `None`
+    /// when the fault subsystem is disabled.
+    pub fn fault_totals(&self) -> Option<FaultStats> {
+        let mut total: Option<FaultStats> = None;
+        for r in &self.routers {
+            for o in r.outputs.iter().flatten() {
+                if let Some(f) = &o.fault {
+                    total
+                        .get_or_insert_with(FaultStats::default)
+                        .accumulate(&f.stats());
+                }
             }
         }
         total

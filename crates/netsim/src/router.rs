@@ -1,6 +1,7 @@
 use std::collections::VecDeque;
 
 use dvslink::DvsChannel;
+use faults::{ChannelFaultModel, FaultStats, TransmitOutcome};
 
 use crate::policy::{LinkPolicy, WindowMeasures};
 use crate::{Cycles, Flit, NodeId, PortId, Routing, Topology, LOCAL_PORT};
@@ -144,6 +145,9 @@ pub struct InputPortStats {
 pub(crate) struct OutputPort {
     pub(crate) channel: DvsChannel,
     pub(crate) policy: Box<dyn LinkPolicy>,
+    /// Fault injection + recovery state (None when faults are disabled; the
+    /// hot path then skips the fault logic entirely).
+    pub(crate) fault: Option<ChannelFaultModel>,
     next_window: Cycles,
     /// Cached `channel.busy_until()` (or `MAX` when stable) so the hot loop
     /// can skip `advance` entirely until a phase boundary is due.
@@ -199,6 +203,8 @@ pub struct OutputPortStats {
     pub credits: u32,
     /// Total downstream buffer capacity.
     pub buf_capacity: u32,
+    /// Fault/retry/residual-error counters (None when faults are disabled).
+    pub fault: Option<FaultStats>,
 }
 
 pub(crate) struct Router {
@@ -234,7 +240,11 @@ impl Router {
         id: NodeId,
         topo: &Topology,
         params: &RouterParams,
-        mut make_channel: impl FnMut(NodeId, PortId) -> (DvsChannel, Box<dyn LinkPolicy>),
+        mut make_channel: impl FnMut(
+            NodeId,
+            PortId,
+        )
+            -> (DvsChannel, Box<dyn LinkPolicy>, Option<ChannelFaultModel>),
     ) -> Self {
         let ports = topo.ports_per_router();
         let cap_per_vc = params.buf_per_port / params.vcs;
@@ -247,7 +257,7 @@ impl Router {
                     return None;
                 }
                 let downstream = topo.downstream(id, p)?;
-                let (channel, policy) = make_channel(id, p);
+                let (channel, policy, fault) = make_channel(id, p);
                 // Stagger window phases across ports: synchronized windows
                 // would align every channel's transitions (and their
                 // link-disabled lock intervals) network-wide, a measurement
@@ -257,6 +267,7 @@ impl Router {
                 Some(OutputPort {
                     channel,
                     policy,
+                    fault,
                     next_window,
                     next_transition: Cycles::MAX,
                     acc: 0,
@@ -299,6 +310,11 @@ impl Router {
     /// upstream credit accounting ever let a flit through without space).
     pub(crate) fn receive_flit(&mut self, in_port: PortId, vc: usize, flit: Flit, now: Cycles) {
         let ch = &mut self.inputs[in_port].vcs[vc];
+        debug_assert!(
+            flit.crc_valid(),
+            "link-level CRC violated: router {} port {in_port} received a corrupt flit",
+            self.id
+        );
         debug_assert!(
             ch.has_space(),
             "credit protocol violated: router {} port {in_port} vc {vc} overflow",
@@ -636,24 +652,57 @@ impl Router {
                 out.channel.advance(now);
                 out.next_transition = out.channel.busy_until().unwrap_or(Cycles::MAX);
             }
-            if out.channel.is_operational() {
+            if let Some(f) = out.fault.as_mut() {
+                f.tick(now);
+            }
+            let link_up = out.fault.as_ref().is_none_or(|f| f.link_up(now));
+            if out.channel.is_operational() && link_up {
                 out.acc = out.acc.saturating_add(out.channel.freq_x9());
                 if out.acc >= 9000 {
                     out.cum_slots += 1;
-                    let ready =
-                        matches!(out.staging.front(), Some(&(ready_at, _, _)) if ready_at <= now);
+                    let holding_off = out.fault.as_ref().is_some_and(|f| f.holding_off(now));
+                    let ready = !holding_off
+                        && matches!(out.staging.front(), Some(&(ready_at, _, _)) if ready_at <= now);
                     if ready {
-                        let (_, vc, flit) = out.staging.pop_front().expect("front checked");
+                        // Every transmission attempt occupies the slot and
+                        // counts as link activity, whether or not the flit
+                        // survives the crossing; only a delivered flit leaves
+                        // the staging buffer (the retransmission buffer is the
+                        // staging FIFO itself — a corrupted flit stays at the
+                        // front until acknowledged or the link fail-stops).
                         out.cum_flits += 1;
                         out.acc -= 9000;
-                        let (node, in_port) = out.downstream;
-                        flit_wires.push(FlitWire {
-                            arrival: now + 2, // one cycle wire + one cycle buffer write
-                            router: node,
-                            in_port,
-                            vc,
-                            flit,
-                        });
+                        let level = out.channel.level();
+                        let outcome = out
+                            .fault
+                            .as_mut()
+                            .map_or(TransmitOutcome::Deliver { residual: false }, |f| {
+                                f.on_transmit(now, level)
+                            });
+                        match outcome {
+                            TransmitOutcome::Deliver { .. } => {
+                                let (_, vc, flit) = out.staging.pop_front().expect("front checked");
+                                let (node, in_port) = out.downstream;
+                                flit_wires.push(FlitWire {
+                                    arrival: now + 2, // one cycle wire + one cycle buffer write
+                                    router: node,
+                                    in_port,
+                                    vc,
+                                    flit,
+                                });
+                            }
+                            TransmitOutcome::Nack => {
+                                // Detected corruption: the flit is resent from
+                                // the retransmission (staging) buffer after the
+                                // ACK round trip; the wasted crossing still
+                                // burned link energy.
+                                out.channel.charge_retransmission(now);
+                            }
+                            TransmitOutcome::FailStop => {
+                                // Retry budget exhausted: the link is dead and
+                                // `link_up` stays false from the next cycle on.
+                            }
+                        }
                     } else {
                         out.acc = 9000; // idle slots do not bank extra bandwidth
                     }
@@ -691,6 +740,7 @@ impl Router {
             cum_occ_sum: out.cum_occ_sum,
             credits: out.credits.iter().sum(),
             buf_capacity: out.buf_capacity_total,
+            fault: out.fault.as_ref().map(ChannelFaultModel::stats),
         })
     }
 

@@ -2,6 +2,8 @@
 //! figure harness: per-channel levels, utilizations, and buffer occupancy
 //! collected in one pass.
 
+use faults::FaultStats;
+
 use crate::{Cycles, Network, NodeId, PortId, LOCAL_PORT};
 
 /// The state of one channel at snapshot time.
@@ -20,6 +22,9 @@ pub struct ChannelState {
     /// Downstream buffer occupancy fraction in `[0, 1]` (credit-based
     /// estimate, includes flits in flight).
     pub occupancy: f64,
+    /// Fault/retry/residual-error counters (`None` when faults are
+    /// disabled).
+    pub fault: Option<FaultStats>,
 }
 
 /// A point-in-time view of every channel in a [`Network`].
@@ -63,6 +68,7 @@ impl NetworkSnapshot {
                         } else {
                             1.0 - f64::from(s.credits) / f64::from(s.buf_capacity)
                         },
+                        fault: s.fault,
                     });
                 }
             }
@@ -118,6 +124,18 @@ impl NetworkSnapshot {
     /// Channels currently unable to transmit (mid frequency-lock).
     pub fn disabled_channels(&self) -> usize {
         self.channels.iter().filter(|c| !c.operational).count()
+    }
+
+    /// Aggregate fault counters over every channel, or `None` when the
+    /// fault subsystem is disabled.
+    pub fn fault_totals(&self) -> Option<FaultStats> {
+        let mut total: Option<FaultStats> = None;
+        for c in &self.channels {
+            if let Some(f) = &c.fault {
+                total.get_or_insert_with(FaultStats::default).accumulate(f);
+            }
+        }
+        total
     }
 
     /// The `n` channels with the highest downstream occupancy, most

@@ -1,0 +1,207 @@
+//! Integration tests of the link-fault subsystem: zero-rate transparency,
+//! corruption + retransmission under load, determinism, outages, and
+//! fail-stop, all on top of the full router/network stack.
+
+use dvslink::{NoiseModel, VfTable};
+use netsim::{FaultConfig, Network, NetworkConfig, OutageConfig, RecoveryConfig, Topology};
+
+fn cfg_4x4() -> NetworkConfig {
+    let mut cfg = NetworkConfig::paper_8x8();
+    cfg.topology = Topology::mesh(4, 2).unwrap();
+    cfg
+}
+
+/// A `ber_scale` that makes the *top* level's per-bit error probability
+/// equal `p_bit` under the paper noise model (the paper-level BER is
+/// ~1e-15, far too small to exercise in a short test).
+fn scale_for_p_bit(p_bit: f64) -> f64 {
+    let noise = NoiseModel::paper();
+    let table = VfTable::paper();
+    let ber = noise.ber(table.get(table.top()).unwrap());
+    assert!(ber > 0.0 && ber < 1e-12, "paper top-level BER ~1e-15");
+    p_bit / ber
+}
+
+fn inject_pattern(net: &mut Network, packets: u64) {
+    let n = net.topology().num_nodes() as u64;
+    for i in 0..packets {
+        net.inject((i * 7 % n) as usize, (i * 11 % n) as usize);
+    }
+}
+
+fn conservation_holds(net: &Network) -> bool {
+    let injected = net.stats().flits_injected() as usize;
+    let accounted = net.stats().flits_delivered() as usize
+        + net.flits_in_network()
+        + net.flits_in_source_queues();
+    injected == accounted
+}
+
+#[test]
+fn zero_fault_rate_is_transparent() {
+    let run = |faults: Option<FaultConfig>| {
+        let mut cfg = cfg_4x4();
+        cfg.faults = faults;
+        let mut net = Network::new(cfg).unwrap();
+        inject_pattern(&mut net, 200);
+        net.run(5_000);
+        (
+            net.stats().packets_delivered(),
+            net.stats().flits_delivered(),
+            net.stats().latency().mean(),
+            net.flits_in_network(),
+            net.energy_j(),
+            net.fault_totals(),
+        )
+    };
+    let off = run(None);
+    let zero = run(Some(FaultConfig::new(0x5eed).with_ber_scale(0.0)));
+    // Everything the simulator measures is identical; only the fault
+    // counters differ (absent vs present-but-clean).
+    assert_eq!(off.0, zero.0);
+    assert_eq!(off.1, zero.1);
+    assert_eq!(off.2, zero.2);
+    assert_eq!(off.3, zero.3);
+    assert_eq!(off.4, zero.4);
+    assert!(off.5.is_none());
+    let totals = zero.5.expect("fault subsystem enabled");
+    assert!(totals.transmitted > 0);
+    assert_eq!(totals.corrupted, 0);
+    assert_eq!(totals.retransmissions, 0);
+    assert_eq!(totals.residual_errors, 0);
+    assert_eq!(totals.failed_links, 0);
+}
+
+#[test]
+fn corruption_retransmits_and_still_delivers() {
+    // p_flit ~ 0.05 per crossing: plenty of corruption, negligible odds of
+    // nine consecutive retries (0.05^9) so no link fail-stops.
+    let mut cfg = cfg_4x4();
+    cfg.faults = Some(FaultConfig::new(42).with_ber_scale(scale_for_p_bit(1.5e-3)));
+    let mut net = Network::new(cfg).unwrap();
+    inject_pattern(&mut net, 400);
+    for _ in 0..1_000 {
+        net.step();
+        assert!(conservation_holds(&net), "flits leaked at t={}", net.time());
+    }
+    net.run(60_000);
+    assert_eq!(net.stats().packets_delivered(), 400);
+    assert!(conservation_holds(&net));
+    let totals = net.fault_totals().expect("faults enabled");
+    assert!(totals.corrupted > 0, "no corruption at p_flit ~ 0.05");
+    assert!(totals.retransmissions > 0);
+    assert_eq!(totals.failed_links, 0);
+    // Detected corruption == retransmissions (each Nack is one detected
+    // corrupt crossing); residuals are delivered anyway.
+    assert_eq!(
+        totals.corrupted - totals.residual_errors,
+        totals.retransmissions
+    );
+    assert_eq!(
+        totals.delivered_attempts(),
+        totals.transmitted - totals.retransmissions
+    );
+}
+
+#[test]
+fn retransmissions_burn_extra_energy() {
+    let run = |faults: Option<FaultConfig>| {
+        let mut cfg = cfg_4x4();
+        cfg.faults = faults;
+        let mut net = Network::new(cfg).unwrap();
+        inject_pattern(&mut net, 200);
+        net.run(20_000);
+        net.energy_j()
+    };
+    let clean = run(None);
+    let noisy = run(Some(
+        FaultConfig::new(7).with_ber_scale(scale_for_p_bit(3e-3)),
+    ));
+    assert!(
+        noisy > clean,
+        "retransmissions must add energy: {noisy} vs {clean}"
+    );
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let run = |seed: u64| {
+        let mut cfg = cfg_4x4();
+        cfg.faults = Some(FaultConfig::new(seed).with_ber_scale(scale_for_p_bit(1.5e-3)));
+        let mut net = Network::new(cfg).unwrap();
+        inject_pattern(&mut net, 300);
+        net.run(30_000);
+        (
+            net.fault_totals(),
+            net.stats().packets_delivered(),
+            net.stats().latency().mean(),
+        )
+    };
+    assert_eq!(run(3), run(3));
+    let a = run(3).0.unwrap();
+    let b = run(4).0.unwrap();
+    assert_ne!(
+        (a.corrupted, a.retransmissions),
+        (b.corrupted, b.retransmissions),
+        "different seeds must draw different fault schedules"
+    );
+}
+
+#[test]
+fn outages_stall_traffic_without_losing_flits() {
+    let mut cfg = cfg_4x4();
+    cfg.faults = Some(
+        FaultConfig::new(11)
+            .with_ber_scale(0.0)
+            .with_outage(OutageConfig {
+                rate_per_cycle: 2e-4,
+                duration_cycles: 50,
+            }),
+    );
+    let mut net = Network::new(cfg).unwrap();
+    inject_pattern(&mut net, 400);
+    net.run(80_000);
+    let totals = net.fault_totals().expect("faults enabled");
+    assert!(totals.outages > 0, "expected outage episodes");
+    assert!(totals.outage_cycles > 0);
+    assert_eq!(net.stats().packets_delivered(), 400);
+    assert!(conservation_holds(&net));
+}
+
+#[test]
+fn hopeless_links_fail_stop_but_conserve_flits() {
+    // p_flit ~ 0.6 with a 2-retry budget: links die quickly; the network
+    // must not lose or fabricate flits even so.
+    let mut cfg = cfg_4x4();
+    cfg.faults = Some(
+        FaultConfig::new(99)
+            .with_ber_scale(scale_for_p_bit(0.03))
+            .with_recovery(RecoveryConfig {
+                max_retries: 2,
+                ..RecoveryConfig::default()
+            }),
+    );
+    let mut net = Network::new(cfg).unwrap();
+    inject_pattern(&mut net, 200);
+    net.run(30_000);
+    let totals = net.fault_totals().expect("faults enabled");
+    assert!(totals.failed_links > 0, "expected fail-stopped links");
+    assert!(
+        net.stats().packets_delivered() < 200,
+        "dead links must strand some traffic"
+    );
+    assert!(conservation_holds(&net));
+}
+
+#[test]
+fn snapshot_carries_fault_counters() {
+    let mut cfg = cfg_4x4();
+    cfg.faults = Some(FaultConfig::new(1).with_ber_scale(scale_for_p_bit(1.5e-3)));
+    let mut net = Network::new(cfg).unwrap();
+    inject_pattern(&mut net, 200);
+    net.run(10_000);
+    let snap = netsim::NetworkSnapshot::capture(&net);
+    let from_snap = snap.fault_totals().expect("faults enabled");
+    assert_eq!(Some(from_snap), net.fault_totals());
+    assert!(snap.channels().iter().all(|c| c.fault.is_some()));
+}

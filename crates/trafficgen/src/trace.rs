@@ -271,4 +271,59 @@ mod tests {
         tw.poll(100, &mut |_, _| called = true);
         assert!(!called);
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The text format round-trips every trace with sorted cycles:
+            /// entries are generated as non-negative cycle *deltas* so any
+            /// drawn vector yields a valid (non-decreasing) trace, including
+            /// duplicates within a cycle and large gaps.
+            #[test]
+            fn text_format_roundtrips_sorted_entries(
+                deltas in prop::collection::vec((0u64..50, 0usize..256, 0usize..256), 0..40)
+            ) {
+                let mut cycle = 0;
+                let entries: Vec<TraceEntry> = deltas
+                    .into_iter()
+                    .map(|(d, src, dest)| {
+                        cycle += d;
+                        TraceEntry { cycle, src, dest }
+                    })
+                    .collect();
+                let trace = Trace::from_entries(entries);
+                let mut buf = Vec::new();
+                trace.write_to(&mut buf).unwrap();
+                let parsed = Trace::read_from(&buf[..]).unwrap();
+                prop_assert_eq!(parsed, trace);
+            }
+
+            /// Malformed input must surface as an `Err`, never a panic:
+            /// every generated line is broken in one of the ways the parser
+            /// guards against (wrong arity, non-numeric fields, negative
+            /// node ids, empty trailing fields), and the first one must
+            /// abort the parse cleanly.
+            #[test]
+            fn malformed_lines_error_instead_of_panicking(
+                lines in prop::collection::vec((0u64..6, 0u64..1000), 1..20)
+            ) {
+                let text = lines
+                    .iter()
+                    .map(|&(kind, n)| match kind {
+                        0 => format!("{n}"),                // missing src + dest
+                        1 => format!("{n},{n}"),            // missing dest
+                        2 => format!("{n},{n},{n},{n}"),    // trailing field
+                        3 => format!("x{n},0,0"),           // non-numeric cycle
+                        4 => format!("{n},-1,2"),           // negative node id
+                        _ => format!("{n},{n},"),           // empty dest
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                let res = Trace::read_from(text.as_bytes());
+                prop_assert!(res.is_err(), "parsed garbage: {}", text);
+            }
+        }
+    }
 }
