@@ -1,0 +1,53 @@
+//! Tracer-overhead benchmarks: the same loaded 8x8 run as
+//! `simulator::loaded_8x8_1k_cycles`, once with the default `NoopTracer`
+//! (which must monomorphize to the pre-tracing code — compare against that
+//! baseline across commits) and once with a live `EventLog`, bounding what
+//! full event capture costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use netsim::{EventLog, EventMask, Network, NetworkConfig, StaticLevelPolicy};
+
+fn loaded_net<T: netsim::Tracer>(tracer: T) -> Network<T> {
+    let mut net = Network::with_tracer(
+        NetworkConfig::paper_8x8(),
+        |_, _| Box::new(StaticLevelPolicy::default()),
+        tracer,
+    )
+    .expect("valid");
+    for i in 0..500u64 {
+        net.inject((i * 7 % 64) as usize, ((i * 11 + 13) % 64) as usize);
+    }
+    net
+}
+
+fn tracer_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracing");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("noop_8x8_1k_cycles", |b| {
+        b.iter_batched(
+            || loaded_net(netsim::NoopTracer),
+            |mut net| net.run(1_000),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("event_log_8x8_1k_cycles", |b| {
+        b.iter_batched(
+            || loaded_net(EventLog::with_capacity(100_000)),
+            |mut net| net.run(1_000),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("event_log_dvs_mask_8x8_1k_cycles", |b| {
+        // Masked capture still pays per-event counting, but stores almost
+        // nothing — the realistic "trace DVS only" configuration.
+        b.iter_batched(
+            || loaded_net(EventLog::with_capacity(100_000).with_mask(EventMask::DVS)),
+            |mut net| net.run(1_000),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, tracer_overhead);
+criterion_main!(benches);

@@ -6,9 +6,11 @@
 //! back left* once the network congests and credit starvation throttles the
 //! link (panel d).
 
-use linkdvs_bench::{busiest_output, format_histogram, unit_histogram, FigureOpts};
-use netsim::{ChannelProbe, Network, NetworkConfig};
-use trafficgen::{TaskModelConfig, TaskWorkload, Workload};
+use linkdvs_bench::{
+    drive_workload, format_histogram, sample_busiest_channel, unit_histogram, FigureOpts,
+};
+use netsim::{Network, NetworkConfig};
+use trafficgen::{TaskModelConfig, TaskWorkload};
 
 fn main() {
     let opts = FigureOpts::from_env_or_exit();
@@ -25,36 +27,18 @@ fn main() {
         let topo = cfg.topology.clone();
         let mut net = Network::new(cfg).expect("paper config is valid");
         let mut wl = TaskWorkload::new(TaskModelConfig::paper_100_tasks(), &topo, rate, opts.seed);
-        let warm = opts.cycles(100_000);
-        let mut pend = Vec::new();
-        for t in 0..warm {
-            wl.poll(t, &mut |s, d| pend.push((s, d)));
-            for (s, d) in pend.drain(..) {
-                net.inject(s, d);
-            }
-            net.step();
-        }
+        drive_workload(&mut net, &mut wl, opts.cycles(100_000));
         // Track the most heavily used link (the paper tracks "a link
         // within the mesh"; picking the busiest one makes every regime
         // visible at the probe).
-        let (node, port) = busiest_output(&net, |s| s.cum_flits);
-        let mut probe = ChannelProbe::new(&net, node, port).expect("busiest port exists");
-        probe.sample(&net); // discard warm-up interval
-        let mut samples = Vec::new();
-        let windows = opts.cycles(400_000) / 50;
-        for w in 0..windows {
-            for _ in 0..50 {
-                let t = warm + w * 50;
-                let _ = t;
-                let now = net.time();
-                wl.poll(now, &mut |s, d| pend.push((s, d)));
-                for (s, d) in pend.drain(..) {
-                    net.inject(s, d);
-                }
-                net.step();
-            }
-            samples.push(probe.sample(&net).link_utilization);
-        }
+        let samples = sample_busiest_channel(
+            &mut net,
+            &mut wl,
+            50,
+            opts.cycles(400_000) / 50,
+            |s| Some(s.link_utilization),
+            |s| s.cum_flits,
+        );
         let hist = unit_histogram(&samples, 20);
         print!(
             "{}",

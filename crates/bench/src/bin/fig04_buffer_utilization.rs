@@ -6,9 +6,11 @@
 //! indicator function of congestion, far less sensitive than link
 //! utilization (compare Fig. 3's spread).
 
-use linkdvs_bench::{busiest_output, format_histogram, unit_histogram, FigureOpts};
-use netsim::{ChannelProbe, Network, NetworkConfig};
-use trafficgen::{TaskModelConfig, TaskWorkload, Workload};
+use linkdvs_bench::{
+    drive_workload, format_histogram, sample_busiest_channel, unit_histogram, FigureOpts,
+};
+use netsim::{Network, NetworkConfig};
+use trafficgen::{TaskModelConfig, TaskWorkload};
 
 fn main() {
     let opts = FigureOpts::from_env_or_exit();
@@ -19,32 +21,18 @@ fn main() {
         let topo = cfg.topology.clone();
         let mut net = Network::new(cfg).expect("paper config is valid");
         let mut wl = TaskWorkload::new(TaskModelConfig::paper_100_tasks(), &topo, rate, opts.seed);
-        let mut pend = Vec::new();
-        for t in 0..opts.cycles(100_000) {
-            wl.poll(t, &mut |s, d| pend.push((s, d)));
-            for (s, d) in pend.drain(..) {
-                net.inject(s, d);
-            }
-            net.step();
-        }
-        // Probe the channel whose downstream buffers saw the most
+        drive_workload(&mut net, &mut wl, opts.cycles(100_000));
+        // Track the channel whose downstream buffers see the most
         // occupancy: congestion is spatially concentrated, so a fixed port
         // would miss it.
-        let (node, port) = busiest_output(&net, |s| s.cum_occ_sum);
-        let mut probe = ChannelProbe::new(&net, node, port).expect("busiest port exists");
-        probe.sample(&net);
-        let mut samples = Vec::new();
-        for _ in 0..opts.cycles(400_000) / 50 {
-            for _ in 0..50 {
-                let now = net.time();
-                wl.poll(now, &mut |s, d| pend.push((s, d)));
-                for (s, d) in pend.drain(..) {
-                    net.inject(s, d);
-                }
-                net.step();
-            }
-            samples.push(probe.sample(&net).buffer_utilization);
-        }
+        let samples = sample_busiest_channel(
+            &mut net,
+            &mut wl,
+            50,
+            opts.cycles(400_000) / 50,
+            |s| Some(s.buffer_utilization),
+            |s| s.cum_occ_sum,
+        );
         let hist = unit_histogram(&samples, 20);
         print!(
             "{}",

@@ -6,9 +6,9 @@
 //! behaviour as buffer utilization (Fig. 4), which is why the paper uses
 //! buffer utilization (cheaper to measure) and drops age.
 
-use linkdvs_bench::{busiest_output, FigureOpts};
-use netsim::{ChannelProbe, Network, NetworkConfig};
-use trafficgen::{TaskModelConfig, TaskWorkload, Workload};
+use linkdvs_bench::{drive_workload, sample_busiest_channel, FigureOpts};
+use netsim::{Network, NetworkConfig};
+use trafficgen::{TaskModelConfig, TaskWorkload};
 
 fn main() {
     let opts = FigureOpts::from_env_or_exit();
@@ -19,35 +19,18 @@ fn main() {
         let topo = cfg.topology.clone();
         let mut net = Network::new(cfg).expect("paper config is valid");
         let mut wl = TaskWorkload::new(TaskModelConfig::paper_100_tasks(), &topo, rate, opts.seed);
-        let mut pend = Vec::new();
-        for t in 0..opts.cycles(100_000) {
-            wl.poll(t, &mut |s, d| pend.push((s, d)));
-            for (s, d) in pend.drain(..) {
-                net.inject(s, d);
-            }
-            net.step();
-        }
-        // Probe the channel whose downstream buffers saw the most
-        // occupancy: congestion is spatially concentrated, so a fixed port
-        // would miss it.
-        let (node, port) = busiest_output(&net, |s| s.cum_occ_sum);
-        let mut probe = ChannelProbe::new(&net, node, port).expect("busiest port exists");
-        probe.sample(&net);
-        let mut ages = Vec::new();
-        for _ in 0..opts.cycles(400_000) / 50 {
-            for _ in 0..50 {
-                let now = net.time();
-                wl.poll(now, &mut |s, d| pend.push((s, d)));
-                for (s, d) in pend.drain(..) {
-                    net.inject(s, d);
-                }
-                net.step();
-            }
-            let s = probe.sample(&net);
-            if s.flits_sent > 0 {
-                ages.push(s.buffer_age);
-            }
-        }
+        drive_workload(&mut net, &mut wl, opts.cycles(100_000));
+        // Track the channel whose downstream buffers see the most
+        // occupancy; windows in which nothing departed carry no age
+        // information and are skipped.
+        let ages = sample_busiest_channel(
+            &mut net,
+            &mut wl,
+            50,
+            opts.cycles(400_000) / 50,
+            |s| (s.flits_sent > 0).then_some(s.buffer_age),
+            |s| s.cum_occ_sum,
+        );
         // Log-spaced bins 1..=4096 cycles.
         let mut bins = [0usize; 13];
         for &a in &ages {

@@ -31,11 +31,12 @@ const BINS: &[&str] = &[
     "ablation_policies",
     "ablation_parameters",
     "reliability_pareto",
+    "timeline",
 ];
 
 fn main() {
     // Validate the forwarded flags up front so a typo fails fast here
-    // instead of eighteen times in the children.
+    // instead of once per child.
     let opts = FigureOpts::from_env_or_exit();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let exe_dir = std::env::current_exe()

@@ -282,8 +282,8 @@ pub fn results_csv(results: &[(String, Vec<RunResult>)]) -> String {
 /// most congested downstream buffers (`|s| s.cum_occ_sum`). The paper
 /// tracks "a link within the mesh" for its Figs. 3–5; selecting the busiest
 /// one makes the congestion regimes actually visible at the probe.
-pub fn busiest_output(
-    net: &netsim::Network,
+pub fn busiest_output<T: netsim::Tracer>(
+    net: &netsim::Network<T>,
     key: impl Fn(&netsim::OutputPortStats) -> u64,
 ) -> (netsim::NodeId, netsim::PortId) {
     let mut best = (0, 1, 0u64);
@@ -298,6 +298,64 @@ pub fn busiest_output(
         }
     }
     (best.0, best.1)
+}
+
+/// Drive `net` for `cycles` cycles under `wl`: poll the workload each cycle,
+/// inject what it emits, step. This is the inner loop every figure binary
+/// used to hand-roll.
+pub fn drive_workload<T: netsim::Tracer, W: trafficgen::Workload>(
+    net: &mut netsim::Network<T>,
+    wl: &mut W,
+    cycles: u64,
+) {
+    let mut pend = Vec::new();
+    for _ in 0..cycles {
+        wl.poll(net.time(), &mut |s, d| pend.push((s, d)));
+        for (s, d) in pend.drain(..) {
+            net.inject(s, d);
+        }
+        net.step();
+    }
+}
+
+/// Sample every channel of `net` for `windows` windows of `stride` cycles
+/// under `wl`, then return the per-window `metric` series of the channel
+/// that maximizes `key` over its cumulative stats at the end of the run —
+/// the probe loop behind Figs. 3–5, built on [`ChannelProbe::all`] instead
+/// of a pre-selected port.
+///
+/// `metric` returning `None` skips that window (Fig. 5 drops windows in
+/// which nothing departed). Selecting at the *end* means the tracked link
+/// is the busiest over the whole measured interval, not just warm-up.
+///
+/// # Panics
+///
+/// Panics if `net` has no channels.
+pub fn sample_busiest_channel<T: netsim::Tracer, W: trafficgen::Workload>(
+    net: &mut netsim::Network<T>,
+    wl: &mut W,
+    stride: u64,
+    windows: u64,
+    metric: impl Fn(&netsim::ProbeSample) -> Option<f64>,
+    key: impl Fn(&netsim::OutputPortStats) -> u64,
+) -> Vec<f64> {
+    let mut probes = netsim::ChannelProbe::all(net);
+    assert!(!probes.is_empty(), "network has no channels to probe");
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); probes.len()];
+    for _ in 0..windows {
+        drive_workload(net, wl, stride);
+        for (probe, out) in probes.iter_mut().zip(&mut series) {
+            if let Some(v) = metric(&probe.sample(net)) {
+                out.push(v);
+            }
+        }
+    }
+    let (node, port) = busiest_output(net, key);
+    let idx = probes
+        .iter()
+        .position(|p| (p.node(), p.port()) == (node, port))
+        .expect("busiest port is probed");
+    series.swap_remove(idx)
 }
 
 /// Bucket `values` in `[0, 1]` into `bins` equal bins (out-of-range values

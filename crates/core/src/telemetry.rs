@@ -2,6 +2,17 @@ use std::io::{self, Write};
 
 use netsim::FaultStats;
 
+/// Version of the telemetry JSONL record format, serialized as the leading
+/// `schema` key of every record.
+///
+/// Bump this when the record layout changes incompatibly (a key renamed,
+/// removed, or re-typed — *adding* an optional key is compatible). History:
+///
+/// - **1** (implicit): the original record, no `schema` key.
+/// - **2**: `schema` key added; optional `faults` object (omitted when the
+///   fault subsystem is disabled).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
+
 /// Fault/recovery outcome of one executed sweep point, aggregated over
 /// every channel in the network. Present only when the experiment enabled
 /// the fault subsystem ([`netsim::NetworkConfig::faults`]).
@@ -81,11 +92,13 @@ impl RunTelemetry {
     pub fn to_json(&self) -> String {
         let mut json = format!(
             concat!(
-                "{{\"series\":{},\"point_index\":{},\"global_index\":{},",
+                "{{\"schema\":{},",
+                "\"series\":{},\"point_index\":{},\"global_index\":{},",
                 "\"offered_rate\":{},\"worker\":{},\"wall_s\":{:.6},",
                 "\"sim_cycles\":{},\"cycles_per_sec\":{:.1},",
                 "\"packets_delivered\":{}"
             ),
+            TELEMETRY_SCHEMA_VERSION,
             self.series,
             self.point_index,
             self.global_index,
@@ -154,6 +167,7 @@ mod tests {
     fn json_has_all_fields_and_is_one_line() {
         let j = record().to_json();
         for key in [
+            "schema",
             "series",
             "point_index",
             "global_index",
@@ -168,6 +182,17 @@ mod tests {
         }
         assert!(!j.contains('\n'));
         assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn schema_version_leads_every_record() {
+        // Consumers sniff the version before parsing anything else, so it
+        // must be the first key.
+        let j = record().to_json();
+        assert!(
+            j.starts_with(&format!("{{\"schema\":{TELEMETRY_SCHEMA_VERSION},")),
+            "schema key must come first: {j}"
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use dvslink::DvsChannel;
-use netsim::{LinkPolicy, WindowMeasures};
+use netsim::{LinkPolicy, PolicyObservation, WindowMeasures};
 
 use crate::{HistoryDvsConfig, HistoryDvsPolicy};
 
@@ -115,6 +115,10 @@ impl LinkPolicy for DynamicThresholdPolicy {
         if self.windows_seen.is_multiple_of(self.adjust_every) {
             self.retune();
         }
+    }
+
+    fn observe(&self) -> Option<PolicyObservation> {
+        self.inner.observe()
     }
 }
 

@@ -1,5 +1,5 @@
 use dvslink::{DvsChannel, NoiseModel, TransitionError, VfTable};
-use netsim::{LinkPolicy, WindowMeasures};
+use netsim::{LinkPolicy, PolicyObservation, WindowMeasures};
 
 /// Reliability constraint on DVS decisions: a noise model plus a bit-error
 /// rate the link must not exceed at any commanded operating point.
@@ -108,6 +108,10 @@ impl LinkPolicy for GuardedPolicy {
             return;
         }
         self.inner.on_window(measures, channel);
+    }
+
+    fn observe(&self) -> Option<PolicyObservation> {
+        self.inner.observe()
     }
 }
 

@@ -1,5 +1,5 @@
 use dvslink::{DvsChannel, TransitionError};
-use netsim::{LinkPolicy, WindowMeasures};
+use netsim::{LinkPolicy, PolicyObservation, WindowMeasures};
 
 use crate::{DualThresholds, Ewma};
 
@@ -144,6 +144,19 @@ impl LinkPolicy for HistoryDvsPolicy {
             }
         }
     }
+
+    fn observe(&self) -> Option<PolicyObservation> {
+        let lu = self.lu.prediction()?;
+        let bu = self.bu.prediction().unwrap_or(0.0);
+        let t = self.config.thresholds.select(bu);
+        Some(PolicyObservation {
+            predicted_lu: lu,
+            predicted_bu: bu,
+            threshold_low: t.low(),
+            threshold_high: t.high(),
+            congested: bu >= self.config.thresholds.b_congested(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +279,28 @@ mod tests {
         let mut ch2 = channel_at(9);
         r.on_window(&measures(0.28, 0.0, 200), &mut ch2);
         assert_eq!(ch2.target_level(), Some(8));
+    }
+
+    #[test]
+    fn observe_exposes_predictions_and_selected_thresholds() {
+        let mut p = HistoryDvsPolicy::new(HistoryDvsConfig::paper());
+        assert!(p.observe().is_none(), "no history yet");
+        let mut ch = channel_at(5);
+        p.on_window(&measures(0.4, 0.1, 200), &mut ch);
+        let o = p.observe().unwrap();
+        assert!((o.predicted_lu - 0.4).abs() < 1e-9);
+        assert!((o.predicted_bu - 0.1).abs() < 1e-9);
+        assert!(!o.congested, "BU below B_congested");
+        assert_eq!(o.threshold_low, 0.3);
+        assert_eq!(o.threshold_high, 0.4);
+        // Drive BU above B_congested: the congested pair takes over.
+        for i in 0..20 {
+            p.on_window(&measures(0.4, 0.9, 400 + 200 * i), &mut ch);
+        }
+        let o = p.observe().unwrap();
+        assert!(o.congested);
+        assert_eq!(o.threshold_low, 0.6);
+        assert_eq!(o.threshold_high, 0.7);
     }
 
     #[test]

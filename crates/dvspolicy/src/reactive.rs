@@ -1,5 +1,5 @@
 use dvslink::{DvsChannel, TransitionError};
-use netsim::{LinkPolicy, WindowMeasures};
+use netsim::{LinkPolicy, PolicyObservation, WindowMeasures};
 
 use crate::DualThresholds;
 
@@ -17,6 +17,10 @@ pub struct ReactiveDvsPolicy {
     thresholds: DualThresholds,
     steps_up: u64,
     steps_down: u64,
+    /// Most recent informative window measures, for tracing. A memoryless
+    /// policy's "prediction" is just the last raw sample.
+    last_lu: Option<f64>,
+    last_bu: Option<f64>,
 }
 
 impl ReactiveDvsPolicy {
@@ -33,6 +37,8 @@ impl ReactiveDvsPolicy {
             thresholds,
             steps_up: 0,
             steps_down: 0,
+            last_lu: None,
+            last_bu: None,
         }
     }
 
@@ -58,6 +64,10 @@ impl LinkPolicy for ReactiveDvsPolicy {
     }
 
     fn on_window(&mut self, measures: &WindowMeasures, channel: &mut DvsChannel) {
+        if measures.link_slots > 0 {
+            self.last_lu = Some(measures.link_utilization());
+        }
+        self.last_bu = Some(measures.buffer_utilization());
         if !channel.is_stable() {
             return;
         }
@@ -80,6 +90,19 @@ impl LinkPolicy for ReactiveDvsPolicy {
                 Err(e) => unreachable!("stable channel rejected step up: {e}"),
             }
         }
+    }
+
+    fn observe(&self) -> Option<PolicyObservation> {
+        let lu = self.last_lu?;
+        let bu = self.last_bu.unwrap_or(0.0);
+        let t = self.thresholds.select(bu);
+        Some(PolicyObservation {
+            predicted_lu: lu,
+            predicted_bu: bu,
+            threshold_low: t.low(),
+            threshold_high: t.high(),
+            congested: bu >= self.thresholds.b_congested(),
+        })
     }
 }
 
@@ -127,6 +150,24 @@ mod tests {
         assert!(ch.is_stable(), "middle band holds");
         p.on_window(&measures(0.5, 0.9, 400), &mut ch);
         assert_eq!(ch.target_level(), Some(4), "congested thresholds apply");
+    }
+
+    #[test]
+    fn observe_reports_last_raw_window() {
+        let mut p = ReactiveDvsPolicy::paper();
+        assert!(p.observe().is_none(), "no window seen yet");
+        let mut ch = channel_at(5);
+        p.on_window(&measures(0.35, 0.2, 200), &mut ch);
+        let o = p.observe().unwrap();
+        assert!((o.predicted_lu - 0.35).abs() < 1e-9);
+        assert!((o.predicted_bu - 0.2).abs() < 1e-9);
+        assert!(!o.congested);
+        // Raw, not smoothed: the next window fully replaces the last.
+        p.on_window(&measures(0.8, 0.9, 400), &mut ch);
+        let o = p.observe().unwrap();
+        assert!((o.predicted_lu - 0.8).abs() < 1e-9);
+        assert!(o.congested);
+        assert_eq!(o.threshold_low, 0.6);
     }
 
     #[test]

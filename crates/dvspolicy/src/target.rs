@@ -1,5 +1,5 @@
 use dvslink::DvsChannel;
-use netsim::{LinkPolicy, WindowMeasures};
+use netsim::{LinkPolicy, PolicyObservation, WindowMeasures};
 
 use crate::Ewma;
 
@@ -95,6 +95,18 @@ impl LinkPolicy for TargetUtilizationPolicy {
         if result.is_ok() {
             self.steps += 1;
         }
+    }
+
+    fn observe(&self) -> Option<PolicyObservation> {
+        // No threshold band: the set point is both edges, and congestion
+        // plays no role in this policy's decisions.
+        Some(PolicyObservation {
+            predicted_lu: self.demand.prediction()?,
+            predicted_bu: 0.0,
+            threshold_low: self.set_point,
+            threshold_high: self.set_point,
+            congested: false,
+        })
     }
 }
 

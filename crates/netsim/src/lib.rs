@@ -50,16 +50,21 @@ mod router;
 mod routing;
 mod snapshot;
 mod stats;
+mod timeline;
 mod topology;
+
+pub use obs;
 
 pub use dvslink::Cycles;
 pub use faults::{FaultConfig, FaultConfigError, FaultStats, OutageConfig, RecoveryConfig};
 pub use flit::{Flit, FlitKind, PacketId};
 pub use network::{Network, NetworkConfig, NetworkError};
-pub use policy::{LinkPolicy, StaticLevelPolicy, WindowMeasures};
+pub use obs::{Event, EventKind, EventLog, EventMask, LinkId, NoopTracer, Tracer};
+pub use policy::{LinkPolicy, PolicyObservation, StaticLevelPolicy, WindowMeasures};
 pub use probe::{ChannelProbe, ProbeSample};
 pub use router::{ActivityCounters, InputPortStats, OutputPortStats};
 pub use routing::Routing;
 pub use snapshot::{ChannelState, NetworkSnapshot};
 pub use stats::{LatencyStats, NetStats};
+pub use timeline::TimelineCollector;
 pub use topology::{Direction, NodeId, PortId, Topology, TopologyError, LOCAL_PORT};

@@ -3,6 +3,7 @@ use std::fmt;
 
 use dvslink::{DvsChannel, RegulatorParams, TransitionTiming, VfTable};
 use faults::{ChannelFaultModel, FaultConfig, FaultConfigError, FaultStats};
+use obs::{Event, NoopTracer, Tracer};
 
 use crate::flit::make_packet;
 use crate::policy::{LinkPolicy, StaticLevelPolicy};
@@ -130,7 +131,13 @@ impl Error for NetworkError {}
 /// Drive it by injecting packets ([`inject`](Self::inject)) and advancing
 /// one router cycle at a time ([`step`](Self::step)); read results from
 /// [`stats`](Self::stats) and the power accessors.
-pub struct Network {
+///
+/// The network is generic over a [`Tracer`] that receives typed events
+/// from the router hot path. The default [`NoopTracer`] has
+/// `ENABLED = false`, so the untraced build monomorphizes all tracing out;
+/// use [`Network::with_tracer`] to attach an [`obs::EventLog`] (or any
+/// custom sink).
+pub struct Network<T: Tracer = NoopTracer> {
     topo: Topology,
     routers: Vec<Router>,
     time: Cycles,
@@ -149,9 +156,10 @@ pub struct Network {
     links_per_channel: u32,
     max_channel_power_w: f64,
     energy_rebase_j: f64,
+    tracer: T,
 }
 
-impl Network {
+impl Network<NoopTracer> {
     /// Build a network where every channel keeps its initial level (the
     /// non-DVS baseline). Use [`Network::with_policies`] to attach a DVS
     /// policy per output port.
@@ -171,7 +179,26 @@ impl Network {
     /// Returns [`NetworkError`] for inconsistent configuration values.
     pub fn with_policies(
         config: NetworkConfig,
+        make_policy: impl FnMut(NodeId, PortId) -> Box<dyn LinkPolicy>,
+    ) -> Result<Self, NetworkError> {
+        Self::with_tracer(config, make_policy, NoopTracer)
+    }
+}
+
+impl<T: Tracer> Network<T> {
+    /// Build a network with per-port policies and an attached event tracer.
+    /// The tracer receives every [`obs::Event`] the simulator emits; pass
+    /// an [`obs::EventLog`] to collect them, or [`NoopTracer`] (via
+    /// [`Network::new`]/[`Network::with_policies`]) for the zero-cost
+    /// untraced build.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] for inconsistent configuration values.
+    pub fn with_tracer(
+        config: NetworkConfig,
         mut make_policy: impl FnMut(NodeId, PortId) -> Box<dyn LinkPolicy>,
+        tracer: T,
     ) -> Result<Self, NetworkError> {
         if config.vcs == 0 {
             return Err(NetworkError::NoVirtualChannels);
@@ -246,7 +273,24 @@ impl Network {
             links_per_channel: config.links_per_channel,
             max_channel_power_w,
             energy_rebase_j: 0.0,
+            tracer,
         })
+    }
+
+    /// The attached tracer.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// The attached tracer, mutably (e.g. to adjust an event log mid-run).
+    pub fn tracer_mut(&mut self) -> &mut T {
+        &mut self.tracer
+    }
+
+    /// Consume the network and return the tracer with everything it
+    /// collected.
+    pub fn into_tracer(self) -> T {
+        self.tracer
     }
 
     /// The network topology.
@@ -282,6 +326,14 @@ impl Network {
         let flits = make_packet(id, src, dest, self.time, self.packet_len);
         self.stats.on_inject(flits.len());
         self.routers[src].source_queue.extend(flits);
+        if T::ENABLED {
+            self.tracer.record(Event::PacketInject {
+                t: self.time,
+                src,
+                dest,
+                packet: id,
+            });
+        }
         id
     }
 
@@ -307,13 +359,14 @@ impl Network {
         // at the top of the *next* cycle, so one pass is equivalent to
         // separate global phases and much friendlier to the cache.
         for r in &mut self.routers {
-            r.inject_from_source(now);
+            r.inject_from_source(now, &mut self.tracer);
             r.cycle(
                 &self.topo,
                 now,
                 &mut self.credit_buf,
                 &mut self.flit_buf,
                 &mut self.delivery_buf,
+                &mut self.tracer,
             );
         }
         for w in self.credit_buf.drain(..) {
@@ -321,9 +374,25 @@ impl Network {
         }
         for d in self.delivery_buf.drain(..) {
             self.stats.on_flit_delivered();
+            if T::ENABLED {
+                self.tracer.record(Event::FlitEject {
+                    t: now,
+                    node: d.flit.dest,
+                    packet: d.flit.packet,
+                    seq: d.flit.seq,
+                });
+            }
             if d.flit.is_tail() {
-                self.stats
-                    .on_packet_delivered(d.ejected_at - d.flit.created_at);
+                let latency = d.ejected_at - d.flit.created_at;
+                self.stats.on_packet_delivered(latency);
+                if T::ENABLED {
+                    self.tracer.record(Event::PacketDelivered {
+                        t: now,
+                        node: d.flit.dest,
+                        packet: d.flit.packet,
+                        latency,
+                    });
+                }
             }
         }
         for w in self.flit_buf.drain(..) {
@@ -486,7 +555,7 @@ impl Network {
     /// Snapshot of the output port `port` of router `node`, or `None` if
     /// that port has no channel (local port or mesh boundary).
     pub fn output_stats(&self, node: NodeId, port: PortId) -> Option<OutputPortStats> {
-        self.routers[node].output_stats(port)
+        self.routers[node].output_stats(port, self.time)
     }
 
     /// Snapshot of the input port `port` of router `node`.
@@ -517,7 +586,7 @@ impl Network {
     }
 }
 
-impl fmt::Debug for Network {
+impl<T: Tracer> fmt::Debug for Network<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Network")
             .field("nodes", &self.topo.num_nodes())

@@ -47,6 +47,25 @@ impl WindowMeasures {
     }
 }
 
+/// A policy's internal decision state after a window, exposed for tracing.
+///
+/// The tracer uses this to emit threshold-crossing and congestion-flip
+/// events with the exact values the policy compared — the predicted
+/// (history-smoothed) utilizations, not the raw window measures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyObservation {
+    /// Predicted link utilization the policy compared against thresholds.
+    pub predicted_lu: f64,
+    /// Predicted downstream buffer utilization (0 when unavailable).
+    pub predicted_bu: f64,
+    /// Active low threshold `T_L`.
+    pub threshold_low: f64,
+    /// Active high threshold `T_H`.
+    pub threshold_high: f64,
+    /// Whether the policy currently considers the downstream congested.
+    pub congested: bool,
+}
+
 /// A per-output-port policy controlling one DVS channel.
 ///
 /// The network calls [`on_window`](Self::on_window) every
@@ -60,6 +79,13 @@ pub trait LinkPolicy {
 
     /// Observe one window's measures and optionally adjust the channel.
     fn on_window(&mut self, measures: &WindowMeasures, channel: &mut DvsChannel);
+
+    /// The policy's decision state after the most recent window, for
+    /// tracing. `None` (the default) means the policy exposes no internal
+    /// state; the tracer then skips threshold-crossing events for it.
+    fn observe(&self) -> Option<PolicyObservation> {
+        None
+    }
 }
 
 /// A policy that never changes the channel level — the paper's non-DVS

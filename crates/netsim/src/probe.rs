@@ -1,4 +1,6 @@
-use crate::{Cycles, Network, NodeId, PortId};
+use obs::Tracer;
+
+use crate::{Cycles, Network, NodeId, PortId, Topology, LOCAL_PORT};
 
 /// One sampled window of a probed channel.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,6 +18,12 @@ pub struct ProbeSample {
     pub buffer_age: f64,
     /// Channel level at sampling time.
     pub level: usize,
+    /// Instantaneous channel power at sampling time, watts.
+    pub power_w: f64,
+    /// Link frequency at sampling time, MHz.
+    pub freq_mhz: f64,
+    /// Channel energy consumed during the window, joules.
+    pub energy_j: f64,
     /// Flits sent during the window.
     pub flits_sent: u64,
 }
@@ -54,6 +62,7 @@ pub struct ChannelProbe {
     last_occ_sum: u64,
     last_age_sum: u64,
     last_departures: u64,
+    last_energy: f64,
 }
 
 impl ChannelProbe {
@@ -61,7 +70,7 @@ impl ChannelProbe {
     ///
     /// Returns `None` if that port has no channel (local port or mesh
     /// boundary).
-    pub fn new(net: &Network, node: NodeId, port: PortId) -> Option<Self> {
+    pub fn new<T: Tracer>(net: &Network<T>, node: NodeId, port: PortId) -> Option<Self> {
         let stats = net.output_stats(node, port)?;
         let (down_node, down_port) = net.downstream(node, port)?;
         let din = net.input_stats(down_node, down_port);
@@ -76,7 +85,29 @@ impl ChannelProbe {
             last_occ_sum: stats.cum_occ_sum,
             last_age_sum: din.cum_age_sum,
             last_departures: din.cum_departures,
+            last_energy: stats.energy_j,
         })
+    }
+
+    /// Attach one probe to every channel in `net`, in `(node, port)` order.
+    ///
+    /// This is the whole-network generalization the figure harnesses use
+    /// instead of hand-rolled per-port probe loops; `TimelineCollector`
+    /// builds on it to sample every channel on a fixed stride.
+    pub fn all<T: Tracer>(net: &Network<T>) -> Vec<Self> {
+        let topo: &Topology = net.topology();
+        let mut probes = Vec::with_capacity(net.channel_count());
+        for node in topo.nodes() {
+            for port in 0..topo.ports_per_router() {
+                if port == LOCAL_PORT {
+                    continue;
+                }
+                if let Some(p) = Self::new(net, node, port) {
+                    probes.push(p);
+                }
+            }
+        }
+        probes
     }
 
     /// The probed router.
@@ -95,7 +126,7 @@ impl ChannelProbe {
     ///
     /// Panics if the probed port disappeared (cannot happen on a fixed
     /// topology).
-    pub fn sample(&mut self, net: &Network) -> ProbeSample {
+    pub fn sample<T: Tracer>(&mut self, net: &Network<T>) -> ProbeSample {
         let now = net.time();
         let out = net
             .output_stats(self.node, self.port)
@@ -126,6 +157,9 @@ impl ChannelProbe {
                 ages as f64 / deps as f64
             },
             level: out.level,
+            power_w: out.power_w,
+            freq_mhz: f64::from(out.freq_x9) / 9.0,
+            energy_j: out.energy_j - self.last_energy,
             flits_sent: flits,
         };
         self.last_cycle = now;
@@ -134,6 +168,7 @@ impl ChannelProbe {
         self.last_occ_sum = out.cum_occ_sum;
         self.last_age_sum = din.cum_age_sum;
         self.last_departures = din.cum_departures;
+        self.last_energy = out.energy_j;
         sample
     }
 }
@@ -191,6 +226,35 @@ mod tests {
         net.run(4_000);
         let s2 = probe.sample(&net);
         assert!(s2.link_utilization < s.link_utilization);
+    }
+
+    #[test]
+    fn all_covers_every_channel_exactly_once() {
+        let net = net_4x4();
+        let probes = ChannelProbe::all(&net);
+        assert_eq!(probes.len(), net.channel_count());
+        let mut seen = std::collections::HashSet::new();
+        for p in &probes {
+            assert!(seen.insert((p.node(), p.port())), "duplicate probe");
+            assert!(net.output_stats(p.node(), p.port()).is_some());
+        }
+    }
+
+    #[test]
+    fn sample_reports_power_frequency_and_energy() {
+        let mut net = net_4x4();
+        let mut probe = ChannelProbe::new(&net, 0, 1).unwrap();
+        net.run(100);
+        let s = probe.sample(&net);
+        // Fresh paper config: every channel at the top level (1 GHz).
+        assert!((s.freq_mhz - 1000.0).abs() < 1e-9, "freq {}", s.freq_mhz);
+        assert!((s.power_w - 1.6).abs() < 1e-9, "power {}", s.power_w);
+        // 100 cycles at 1.6 W = 160 nJ.
+        assert!((s.energy_j - 160e-9).abs() < 1e-12, "energy {}", s.energy_j);
+        // Energy is a per-window delta, not cumulative.
+        net.run(100);
+        let s2 = probe.sample(&net);
+        assert!((s2.energy_j - 160e-9).abs() < 1e-12);
     }
 
     #[test]

@@ -1,10 +1,47 @@
 use std::collections::VecDeque;
 
-use dvslink::DvsChannel;
+use dvslink::{ChannelPhase, DvsChannel};
 use faults::{ChannelFaultModel, FaultStats, TransmitOutcome};
+use obs::{Event, LinkId, Tracer};
 
 use crate::policy::{LinkPolicy, WindowMeasures};
 use crate::{Cycles, Flit, NodeId, PortId, Routing, Topology, LOCAL_PORT};
+
+/// Emit DVS phase-change events for one `advance` of a channel: entering
+/// the frequency-lock window (links disabled) and completing a transition.
+fn phase_events<T: Tracer>(
+    tracer: &mut T,
+    link: LinkId,
+    now: Cycles,
+    pre: ChannelPhase,
+    post: ChannelPhase,
+    level: usize,
+) {
+    match (pre, post) {
+        (
+            ChannelPhase::VoltageRamp { .. } | ChannelPhase::Stable,
+            ChannelPhase::FreqLock { target, until },
+        ) => {
+            tracer.record(Event::DvsLock {
+                t: now,
+                link,
+                target,
+                until,
+            });
+        }
+        (
+            ChannelPhase::VoltageRamp { .. } | ChannelPhase::FreqLock { .. },
+            ChannelPhase::Stable,
+        ) => {
+            tracer.record(Event::DvsComplete {
+                t: now,
+                link,
+                level,
+            });
+        }
+        _ => {}
+    }
+}
 
 /// A flit on a wire, due to arrive at a router input buffer.
 #[derive(Debug, Clone, Copy)]
@@ -163,6 +200,11 @@ pub(crate) struct OutputPort {
     va_rr: usize,
     pub(crate) downstream: (NodeId, PortId),
     buf_capacity_total: u32,
+    /// Last observed policy LU region (-1 below T_L, 0 in band, +1 above
+    /// T_H) and congestion litmus, for edge-triggered trace events. Only
+    /// maintained when the tracer is enabled.
+    last_lu_region: Option<i8>,
+    last_congested: Option<bool>,
     // Cumulative counters; policy windows and probes take deltas.
     pub(crate) cum_flits: u64,
     pub(crate) cum_slots: u64,
@@ -203,6 +245,12 @@ pub struct OutputPortStats {
     pub credits: u32,
     /// Total downstream buffer capacity.
     pub buf_capacity: u32,
+    /// Current link frequency in units of MHz/9 (9000 = full rate, one
+    /// flit per router cycle).
+    pub freq_x9: u32,
+    /// Channel energy consumed since construction, in joules (transmission
+    /// + leakage + transition overhead).
+    pub energy_j: f64,
     /// Fault/retry/residual-error counters (None when faults are disabled).
     pub fault: Option<FaultStats>,
 }
@@ -279,6 +327,8 @@ impl Router {
                     va_rr: 0,
                     downstream,
                     buf_capacity_total: (cap_per_vc * params.vcs) as u32,
+                    last_lu_region: None,
+                    last_congested: None,
                     cum_flits: 0,
                     cum_slots: 0,
                     cum_occ_sum: 0,
@@ -335,7 +385,7 @@ impl Router {
     /// Move up to one flit per cycle from the source queue into the local
     /// input port (injection bandwidth = one flit/cycle, matching the
     /// channel bandwidth).
-    pub(crate) fn inject_from_source(&mut self, now: Cycles) {
+    pub(crate) fn inject_from_source<T: Tracer>(&mut self, now: Cycles, tracer: &mut T) {
         let Some(&front) = self.source_queue.front() else {
             return;
         };
@@ -362,13 +412,23 @@ impl Router {
         local.vcs[vc].fifo.push_back((front, now));
         self.buffered += 1;
         self.activity.buffer_writes += 1;
+        if T::ENABLED {
+            tracer.record(Event::FlitInject {
+                t: now,
+                node: self.id,
+                packet: front.packet,
+                seq: front.seq,
+            });
+        }
         self.source_queue.pop_front();
         self.inj_vc = if front.is_tail() { None } else { Some(vc) };
     }
 
     /// Close any history windows that end at `now`, invoking the policies.
-    fn close_windows(&mut self, now: Cycles) {
-        for out in self.outputs.iter_mut().flatten() {
+    fn close_windows<T: Tracer>(&mut self, now: Cycles, tracer: &mut T) {
+        let id = self.id;
+        for (port, slot) in self.outputs.iter_mut().enumerate() {
+            let Some(out) = slot else { continue };
             if now >= out.next_window {
                 let measures = WindowMeasures {
                     window_cycles: now - out.snap_cycle,
@@ -378,9 +438,80 @@ impl Router {
                     buf_capacity: out.buf_capacity_total,
                     now,
                 };
+                let pre =
+                    T::ENABLED.then(|| (out.channel.phase(), out.channel.meter().transition_j()));
                 out.channel.advance(now);
+                let mid = T::ENABLED.then(|| (out.channel.phase(), out.channel.level()));
                 out.policy.on_window(&measures, &mut out.channel);
                 out.next_transition = out.channel.busy_until().unwrap_or(Cycles::MAX);
+                if T::ENABLED {
+                    let link = LinkId { node: id, port };
+                    let (pre_phase, pre_tj) = pre.expect("captured when enabled");
+                    let (mid_phase, mid_level) = mid.expect("captured when enabled");
+                    // Progress the channel made during `advance`.
+                    phase_events(tracer, link, now, pre_phase, out.channel.phase(), mid_level);
+                    let observation = out.policy.observe();
+                    // A transition the policy just initiated: the channel was
+                    // stable going into `on_window` and is ramping coming out.
+                    if matches!(mid_phase, ChannelPhase::Stable)
+                        && !matches!(out.channel.phase(), ChannelPhase::Stable)
+                    {
+                        if let Some(to) = out.channel.target_level() {
+                            tracer.record(Event::DvsRequest {
+                                t: now,
+                                link,
+                                from: mid_level,
+                                to,
+                                lu: measures.link_utilization(),
+                                bu: measures.buffer_utilization(),
+                                congested: observation.is_some_and(|o| o.congested),
+                            });
+                        }
+                    }
+                    // Edge-triggered policy-state events: where the predicted
+                    // LU sits relative to the active threshold band, and the
+                    // congestion litmus.
+                    if let Some(o) = observation {
+                        let region: i8 = if o.predicted_lu > o.threshold_high {
+                            1
+                        } else if o.predicted_lu < o.threshold_low {
+                            -1
+                        } else {
+                            0
+                        };
+                        if out.last_lu_region != Some(region) {
+                            if region != 0 && out.last_lu_region.is_some() {
+                                tracer.record(Event::ThresholdCrossing {
+                                    t: now,
+                                    link,
+                                    lu: o.predicted_lu,
+                                    low: o.threshold_low,
+                                    high: o.threshold_high,
+                                    up: region > 0,
+                                });
+                            }
+                            out.last_lu_region = Some(region);
+                        }
+                        if out.last_congested != Some(o.congested) {
+                            if out.last_congested.is_some() {
+                                tracer.record(Event::CongestionFlip {
+                                    t: now,
+                                    link,
+                                    congested: o.congested,
+                                });
+                            }
+                            out.last_congested = Some(o.congested);
+                        }
+                    }
+                    let charged = out.channel.meter().transition_j() - pre_tj;
+                    if charged > 0.0 {
+                        tracer.record(Event::TransitionEnergy {
+                            t: now,
+                            link,
+                            energy_j: charged,
+                        });
+                    }
+                }
                 out.snap_flits = out.cum_flits;
                 out.snap_slots = out.cum_slots;
                 out.snap_occ_sum = out.cum_occ_sum;
@@ -394,22 +525,23 @@ impl Router {
     /// then VC), and transmit on the links. Routers only interact through
     /// next-cycle wires, so the network can run each router's full cycle
     /// back-to-back.
-    pub(crate) fn cycle(
+    pub(crate) fn cycle<T: Tracer>(
         &mut self,
         topo: &Topology,
         now: Cycles,
         credit_wires: &mut Vec<CreditWire>,
         flit_wires: &mut Vec<FlitWire>,
         deliveries: &mut Vec<Delivery>,
+        tracer: &mut T,
     ) {
         if now > 0 {
-            self.close_windows(now);
+            self.close_windows(now, tracer);
         }
         if self.buffered > 0 {
             self.switch_allocation(topo, now, credit_wires, deliveries);
-            self.vc_allocation(topo);
+            self.vc_allocation(topo, now, tracer);
         }
-        self.link_phase(now, flit_wires);
+        self.link_phase(now, flit_wires, tracer);
     }
 
     fn switch_allocation(
@@ -530,7 +662,7 @@ impl Router {
         }
     }
 
-    fn vc_allocation(&mut self, topo: &Topology) {
+    fn vc_allocation<T: Tracer>(&mut self, topo: &Topology, now: Cycles, tracer: &mut T) {
         let ports = self.inputs.len();
         let vcs = self.inputs[0].vcs.len();
         // Route computation for idle VCs with a fresh packet at the front,
@@ -615,6 +747,26 @@ impl Router {
                 out.va_rr = out.va_rr.wrapping_add(1);
             }
         }
+        if T::ENABLED {
+            // Requests still Waiting after the grant pass stalled this cycle.
+            let id = self.id;
+            for &(in_port, in_vc, out_port, _) in &self.va_requests {
+                if matches!(
+                    self.inputs[in_port].vcs[in_vc].state,
+                    VcState::Waiting { .. }
+                ) {
+                    tracer.record(Event::VcAllocStall {
+                        t: now,
+                        link: LinkId {
+                            node: id,
+                            port: out_port,
+                        },
+                        in_port,
+                        in_vc,
+                    });
+                }
+            }
+        }
     }
 
     fn compute_route(&self, topo: &Topology, dest: NodeId) -> (PortId, bool) {
@@ -646,14 +798,51 @@ impl Router {
 
     /// Link phase: advance each channel, open link-clock slots via the rate
     /// accumulator, and transmit ready staged flits downstream.
-    fn link_phase(&mut self, now: Cycles, flit_wires: &mut Vec<FlitWire>) {
-        for out in self.outputs.iter_mut().flatten() {
+    fn link_phase<T: Tracer>(
+        &mut self,
+        now: Cycles,
+        flit_wires: &mut Vec<FlitWire>,
+        tracer: &mut T,
+    ) {
+        let id = self.id;
+        for (port, slot) in self.outputs.iter_mut().enumerate() {
+            let Some(out) = slot else { continue };
             if now >= out.next_transition {
+                let pre =
+                    T::ENABLED.then(|| (out.channel.phase(), out.channel.meter().transition_j()));
                 out.channel.advance(now);
                 out.next_transition = out.channel.busy_until().unwrap_or(Cycles::MAX);
+                if let Some((pre_phase, pre_tj)) = pre {
+                    let link = LinkId { node: id, port };
+                    phase_events(
+                        tracer,
+                        link,
+                        now,
+                        pre_phase,
+                        out.channel.phase(),
+                        out.channel.level(),
+                    );
+                    let charged = out.channel.meter().transition_j() - pre_tj;
+                    if charged > 0.0 {
+                        tracer.record(Event::TransitionEnergy {
+                            t: now,
+                            link,
+                            energy_j: charged,
+                        });
+                    }
+                }
             }
             if let Some(f) = out.fault.as_mut() {
+                let pre_outages = T::ENABLED.then(|| f.stats().outages);
                 f.tick(now);
+                if let Some(pre) = pre_outages {
+                    if f.stats().outages > pre {
+                        tracer.record(Event::OutageStart {
+                            t: now,
+                            link: LinkId { node: id, port },
+                        });
+                    }
+                }
             }
             let link_up = out.fault.as_ref().is_none_or(|f| f.link_up(now));
             if out.channel.is_operational() && link_up {
@@ -680,7 +869,13 @@ impl Router {
                                 f.on_transmit(now, level)
                             });
                         match outcome {
-                            TransmitOutcome::Deliver { .. } => {
+                            TransmitOutcome::Deliver { residual } => {
+                                if T::ENABLED && residual {
+                                    tracer.record(Event::FaultResidual {
+                                        t: now,
+                                        link: LinkId { node: id, port },
+                                    });
+                                }
                                 let (_, vc, flit) = out.staging.pop_front().expect("front checked");
                                 let (node, in_port) = out.downstream;
                                 flit_wires.push(FlitWire {
@@ -697,10 +892,22 @@ impl Router {
                                 // ACK round trip; the wasted crossing still
                                 // burned link energy.
                                 out.channel.charge_retransmission(now);
+                                if T::ENABLED {
+                                    tracer.record(Event::FaultNack {
+                                        t: now,
+                                        link: LinkId { node: id, port },
+                                    });
+                                }
                             }
                             TransmitOutcome::FailStop => {
                                 // Retry budget exhausted: the link is dead and
                                 // `link_up` stays false from the next cycle on.
+                                if T::ENABLED {
+                                    tracer.record(Event::FaultFailStop {
+                                        t: now,
+                                        link: LinkId { node: id, port },
+                                    });
+                                }
                             }
                         }
                     } else {
@@ -729,7 +936,7 @@ impl Router {
         }
     }
 
-    pub(crate) fn output_stats(&self, port: PortId) -> Option<OutputPortStats> {
+    pub(crate) fn output_stats(&self, port: PortId, now: Cycles) -> Option<OutputPortStats> {
         let out = self.outputs[port].as_ref()?;
         Some(OutputPortStats {
             level: out.channel.level(),
@@ -740,6 +947,8 @@ impl Router {
             cum_occ_sum: out.cum_occ_sum,
             credits: out.credits.iter().sum(),
             buf_capacity: out.buf_capacity_total,
+            freq_x9: out.channel.freq_x9(),
+            energy_j: out.channel.energy_total_at(now),
             fault: out.fault.as_ref().map(ChannelFaultModel::stats),
         })
     }

@@ -3,6 +3,7 @@
 //! collected in one pass.
 
 use faults::FaultStats;
+use obs::Tracer;
 
 use crate::{Cycles, Network, NodeId, PortId, LOCAL_PORT};
 
@@ -48,7 +49,7 @@ pub struct NetworkSnapshot {
 
 impl NetworkSnapshot {
     /// Capture the state of every channel in `net`.
-    pub fn capture(net: &Network) -> Self {
+    pub fn capture<T: Tracer>(net: &Network<T>) -> Self {
         let topo = net.topology();
         let mut channels = Vec::with_capacity(topo.num_nodes() * (topo.ports_per_router() - 1));
         for node in topo.nodes() {

@@ -1,0 +1,103 @@
+//! Property tests pinning the accuracy of `LatencyStats::quantile`'s
+//! power-of-two histogram estimate against exact quantiles computed from
+//! the sorted sample.
+//!
+//! A latency in bucket `i` lies in `[2^i, 2^(i+1))` and is estimated by the
+//! geometric midpoint `2^i·√2`, so for any sample the estimate at quantile
+//! `q` can deviate from the exact order statistic by at most a factor of
+//! `√2` in either direction. Latencies 0 and 1 share bucket 0, whose
+//! estimate is `√2`; they are the only values where the ratio bound does
+//! not apply, so they get an absolute bound instead.
+
+use netsim::LatencyStats;
+use proptest::prelude::*;
+
+const SQRT_2: f64 = std::f64::consts::SQRT_2;
+const EPS: f64 = 1e-9;
+
+/// The exact order statistic `quantile` targets: the element at rank
+/// `ceil(q·n)` (1-based, clamped to at least 1) of the sorted sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let target = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[target - 1]
+}
+
+proptest! {
+    #[test]
+    fn estimate_is_within_sqrt2_of_exact(
+        sample in prop::collection::vec(0u64..1_000_000_000, 1..400),
+        q_millis in 0u32..=1000,
+    ) {
+        let mut sample = sample;
+        let q = f64::from(q_millis) / 1000.0;
+        let mut stats = LatencyStats::new();
+        for &lat in &sample {
+            stats.record(lat);
+        }
+        sample.sort_unstable();
+        let exact = exact_quantile(&sample, q);
+        let est = stats.quantile(q).expect("non-empty sample");
+        if exact <= 1 {
+            // Bucket 0 holds both 0 and 1 and estimates √2.
+            prop_assert!(
+                est <= SQRT_2 + EPS,
+                "exact {exact} estimated as {est}"
+            );
+        } else {
+            let ratio = est / exact as f64;
+            prop_assert!(
+                (1.0 / SQRT_2 - EPS..=SQRT_2 + EPS).contains(&ratio),
+                "exact {exact} estimated as {est} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_q(
+        sample in prop::collection::vec(0u64..1_000_000_000, 1..400),
+        a in 0u32..=1000,
+        b in 0u32..=1000,
+    ) {
+        let (q_lo, q_hi) = (
+            f64::from(a.min(b)) / 1000.0,
+            f64::from(a.max(b)) / 1000.0,
+        );
+        let mut stats = LatencyStats::new();
+        for &lat in &sample {
+            stats.record(lat);
+        }
+        let lo = stats.quantile(q_lo).unwrap();
+        let hi = stats.quantile(q_hi).unwrap();
+        prop_assert!(lo <= hi, "quantile({q_lo}) = {lo} > quantile({q_hi}) = {hi}");
+    }
+}
+
+#[test]
+fn zero_latency_sample_estimates_bucket_zero_midpoint() {
+    // Local delivery in the same cycle is legal; the histogram must not
+    // lose it or panic on `log2(0)`.
+    let mut stats = LatencyStats::new();
+    for _ in 0..10 {
+        stats.record(0);
+    }
+    for q in [0.0, 0.5, 1.0] {
+        let est = stats.quantile(q).unwrap();
+        assert!((est - SQRT_2).abs() < EPS, "q {q} estimated {est}");
+    }
+    assert_eq!(stats.min(), Some(0));
+    assert_eq!(stats.max(), Some(0));
+}
+
+#[test]
+fn single_sample_hits_its_own_bucket_at_every_quantile() {
+    let mut stats = LatencyStats::new();
+    stats.record(100);
+    for q in [0.0, 0.25, 0.5, 1.0] {
+        let est = stats.quantile(q).unwrap();
+        let ratio = est / 100.0;
+        assert!(
+            (1.0 / SQRT_2 - EPS..=SQRT_2 + EPS).contains(&ratio),
+            "q {q} estimated {est}"
+        );
+    }
+}

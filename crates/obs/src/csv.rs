@@ -1,0 +1,105 @@
+use std::fmt::Write as _;
+
+use crate::timeline::{LinkTimeline, Timeline, TimelineSample};
+
+/// Header for [`timeline_csv`] (all tracks, identified per row).
+pub const TIMELINE_CSV_HEADER: &str =
+    "node,port,start,end,link_utilization,buffer_utilization,level,freq_mhz,power_w,energy_j,flits";
+
+/// Header for [`track_csv`] (one track, Fig. 9-style).
+pub const TRACK_CSV_HEADER: &str =
+    "start,end,link_utilization,buffer_utilization,level,freq_mhz,power_w,energy_j,flits";
+
+fn push_sample(out: &mut String, s: &TimelineSample) {
+    let _ = writeln!(
+        out,
+        "{},{},{:.6},{:.6},{},{:.3},{:.6},{:.9e},{}",
+        s.start,
+        s.end,
+        s.link_utilization,
+        s.buffer_utilization,
+        s.level,
+        s.freq_mhz,
+        s.power_w,
+        s.energy_j,
+        s.flits,
+    );
+}
+
+/// Serialize every track of a [`Timeline`] as one CSV, rows keyed by
+/// `(node, port)` then window start. Matches the figure-artifact CSV
+/// conventions (comma-separated, header row, one window per line).
+pub fn timeline_csv(timeline: &Timeline) -> String {
+    let mut out = String::from(TIMELINE_CSV_HEADER);
+    out.push('\n');
+    for tr in timeline.tracks() {
+        for s in tr.samples() {
+            let _ = write!(out, "{},{},", tr.id().node, tr.id().port);
+            push_sample(&mut out, s);
+        }
+    }
+    out
+}
+
+/// Serialize a single track as a Fig. 9-style CSV: frequency and
+/// utilization per fixed-stride window, for the frequency-vs-utilization
+/// trace plots.
+pub fn track_csv(track: &LinkTimeline) -> String {
+    let mut out = String::from(TRACK_CSV_HEADER);
+    out.push('\n');
+    for s in track.samples() {
+        push_sample(&mut out, s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LinkId;
+
+    fn demo_timeline() -> Timeline {
+        let mut tl = Timeline::new(50);
+        let idx = tl.add_track(LinkId { node: 3, port: 1 }, 4);
+        tl.push(
+            idx,
+            TimelineSample {
+                start: 0,
+                end: 50,
+                link_utilization: 0.5,
+                buffer_utilization: 0.25,
+                level: 2,
+                freq_mhz: 888.9,
+                power_w: 1.25,
+                energy_j: 6.25e-8,
+                flits: 25,
+            },
+        );
+        tl
+    }
+
+    #[test]
+    fn timeline_csv_has_header_and_keyed_rows() {
+        let csv = timeline_csv(&demo_timeline());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(TIMELINE_CSV_HEADER));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("3,1,0,50,0.500000,"));
+        assert_eq!(
+            row.split(',').count(),
+            TIMELINE_CSV_HEADER.split(',').count()
+        );
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn track_csv_matches_header_width() {
+        let tl = demo_timeline();
+        let csv = track_csv(&tl.tracks()[0]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(TRACK_CSV_HEADER));
+        let row = lines.next().unwrap();
+        assert_eq!(row.split(',').count(), TRACK_CSV_HEADER.split(',').count());
+        assert!(row.contains("888.900"));
+    }
+}

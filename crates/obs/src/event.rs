@@ -1,0 +1,462 @@
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+use crate::Cycles;
+
+/// Identifies one inter-router channel: the output `port` of router `node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId {
+    /// Router owning the output port.
+    pub node: usize,
+    /// Output port index.
+    pub port: usize,
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}.p{}", self.node, self.port)
+    }
+}
+
+/// One simulator trace event, stamped with the router cycle `t` it occurred
+/// at. Events are emitted at the source (router hot path, channel phase
+/// machinery, fault model) and only when the [`Tracer`](crate::Tracer) in
+/// use has `ENABLED = true`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A packet was created and queued at its source.
+    PacketInject {
+        /// Cycle of creation (start of source queuing).
+        t: Cycles,
+        /// Source node.
+        src: usize,
+        /// Destination node.
+        dest: usize,
+        /// Packet id.
+        packet: u64,
+    },
+    /// A flit moved from the source queue into the local input buffer.
+    FlitInject {
+        /// Cycle of injection.
+        t: Cycles,
+        /// Injecting node.
+        node: usize,
+        /// Packet id.
+        packet: u64,
+        /// Flit sequence number within the packet (head = 0).
+        seq: u8,
+    },
+    /// A flit was ejected at its destination.
+    FlitEject {
+        /// Cycle of ejection.
+        t: Cycles,
+        /// Destination node.
+        node: usize,
+        /// Packet id.
+        packet: u64,
+        /// Flit sequence number within the packet.
+        seq: u8,
+    },
+    /// A packet finished ejecting (tail flit left the network).
+    PacketDelivered {
+        /// Cycle the tail ejected.
+        t: Cycles,
+        /// Destination node.
+        node: usize,
+        /// Packet id.
+        packet: u64,
+        /// Creation-to-tail-ejection latency in cycles.
+        latency: Cycles,
+    },
+    /// A waiting head flit requested an output VC and was not granted one
+    /// this cycle.
+    VcAllocStall {
+        /// Cycle of the failed allocation.
+        t: Cycles,
+        /// The contended output channel.
+        link: LinkId,
+        /// Requesting input port.
+        in_port: usize,
+        /// Requesting input VC.
+        in_vc: usize,
+    },
+    /// A policy's predicted link utilization left the hold band (crossed
+    /// below the low or above the high threshold). Emitted on the window
+    /// where the crossing happens, not every window spent outside the band.
+    ThresholdCrossing {
+        /// Cycle the window closed.
+        t: Cycles,
+        /// The channel whose policy crossed.
+        link: LinkId,
+        /// Predicted link utilization.
+        lu: f64,
+        /// Active low threshold.
+        low: f64,
+        /// Active high threshold.
+        high: f64,
+        /// `true` for crossing above `high`, `false` for below `low`.
+        up: bool,
+    },
+    /// The congestion litmus (predicted BU vs. `B_congested`) flipped,
+    /// switching the policy between its light-load and congested threshold
+    /// pairs.
+    CongestionFlip {
+        /// Cycle the window closed.
+        t: Cycles,
+        /// The channel whose policy flipped.
+        link: LinkId,
+        /// New congestion state.
+        congested: bool,
+    },
+    /// A policy initiated a level transition, with the window measures that
+    /// triggered it.
+    DvsRequest {
+        /// Cycle the window closed.
+        t: Cycles,
+        /// The transitioning channel.
+        link: LinkId,
+        /// Level before the transition.
+        from: usize,
+        /// Target level.
+        to: usize,
+        /// Link utilization of the triggering window.
+        lu: f64,
+        /// Downstream buffer utilization of the triggering window.
+        bu: f64,
+        /// Whether the policy considered the downstream congested.
+        congested: bool,
+    },
+    /// The channel entered its frequency-lock phase: links are disabled
+    /// until `until` while the receiver re-locks onto the new clock.
+    DvsLock {
+        /// Cycle the lock began.
+        t: Cycles,
+        /// The locking channel.
+        link: LinkId,
+        /// Level the transition is heading to.
+        target: usize,
+        /// Cycle at which the lock completes.
+        until: Cycles,
+    },
+    /// A level transition completed; the channel is stable at `level`.
+    DvsComplete {
+        /// Cycle the transition completed.
+        t: Cycles,
+        /// The channel.
+        link: LinkId,
+        /// New stable level.
+        level: usize,
+    },
+    /// Transition overhead energy was charged (the Stratakos regulator term
+    /// plus any retransmission energy folded into the same meter bucket).
+    TransitionEnergy {
+        /// Cycle of the charge.
+        t: Cycles,
+        /// The channel charged.
+        link: LinkId,
+        /// Energy in joules.
+        energy_j: f64,
+    },
+    /// A transmission was corrupted, detected, and NACKed; the flit will be
+    /// retransmitted after the round trip plus backoff.
+    FaultNack {
+        /// Cycle of the corrupted crossing.
+        t: Cycles,
+        /// The faulty channel.
+        link: LinkId,
+    },
+    /// A corrupted flit aliased past the CRC and was delivered anyway
+    /// (residual error).
+    FaultResidual {
+        /// Cycle of the undetected corruption.
+        t: Cycles,
+        /// The faulty channel.
+        link: LinkId,
+    },
+    /// The channel exhausted its retry budget and fail-stopped permanently.
+    FaultFailStop {
+        /// Cycle of the final failed attempt.
+        t: Cycles,
+        /// The dead channel.
+        link: LinkId,
+    },
+    /// A transient outage episode began; the link is down for its duration.
+    OutageStart {
+        /// First cycle of the outage.
+        t: Cycles,
+        /// The affected channel.
+        link: LinkId,
+    },
+}
+
+impl Event {
+    /// The cycle the event occurred at.
+    pub fn time(&self) -> Cycles {
+        use Event::*;
+        match *self {
+            PacketInject { t, .. }
+            | FlitInject { t, .. }
+            | FlitEject { t, .. }
+            | PacketDelivered { t, .. }
+            | VcAllocStall { t, .. }
+            | ThresholdCrossing { t, .. }
+            | CongestionFlip { t, .. }
+            | DvsRequest { t, .. }
+            | DvsLock { t, .. }
+            | DvsComplete { t, .. }
+            | TransitionEnergy { t, .. }
+            | FaultNack { t, .. }
+            | FaultResidual { t, .. }
+            | FaultFailStop { t, .. }
+            | OutageStart { t, .. } => t,
+        }
+    }
+
+    /// The channel the event concerns, when it concerns one.
+    pub fn link(&self) -> Option<LinkId> {
+        use Event::*;
+        match *self {
+            VcAllocStall { link, .. }
+            | ThresholdCrossing { link, .. }
+            | CongestionFlip { link, .. }
+            | DvsRequest { link, .. }
+            | DvsLock { link, .. }
+            | DvsComplete { link, .. }
+            | TransitionEnergy { link, .. }
+            | FaultNack { link, .. }
+            | FaultResidual { link, .. }
+            | FaultFailStop { link, .. }
+            | OutageStart { link, .. } => Some(link),
+            PacketInject { .. } | FlitInject { .. } | FlitEject { .. } | PacketDelivered { .. } => {
+                None
+            }
+        }
+    }
+
+    /// The event's kind, for filtering and counting.
+    pub fn kind(&self) -> EventKind {
+        use Event::*;
+        match self {
+            PacketInject { .. } => EventKind::PacketInject,
+            FlitInject { .. } => EventKind::FlitInject,
+            FlitEject { .. } => EventKind::FlitEject,
+            PacketDelivered { .. } => EventKind::PacketDelivered,
+            VcAllocStall { .. } => EventKind::VcAllocStall,
+            ThresholdCrossing { .. } => EventKind::ThresholdCrossing,
+            CongestionFlip { .. } => EventKind::CongestionFlip,
+            DvsRequest { .. } => EventKind::DvsRequest,
+            DvsLock { .. } => EventKind::DvsLock,
+            DvsComplete { .. } => EventKind::DvsComplete,
+            TransitionEnergy { .. } => EventKind::TransitionEnergy,
+            FaultNack { .. } => EventKind::FaultNack,
+            FaultResidual { .. } => EventKind::FaultResidual,
+            FaultFailStop { .. } => EventKind::FaultFailStop,
+            OutageStart { .. } => EventKind::OutageStart,
+        }
+    }
+}
+
+/// Discriminant of an [`Event`], usable as a bit index in an [`EventMask`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+#[allow(missing_docs)] // names mirror the Event variants documented above
+pub enum EventKind {
+    PacketInject = 0,
+    FlitInject = 1,
+    FlitEject = 2,
+    PacketDelivered = 3,
+    VcAllocStall = 4,
+    ThresholdCrossing = 5,
+    CongestionFlip = 6,
+    DvsRequest = 7,
+    DvsLock = 8,
+    DvsComplete = 9,
+    TransitionEnergy = 10,
+    FaultNack = 11,
+    FaultResidual = 12,
+    FaultFailStop = 13,
+    OutageStart = 14,
+}
+
+impl EventKind {
+    /// Number of kinds (array-sizing constant).
+    pub const COUNT: usize = 15;
+
+    /// All kinds, in discriminant order.
+    pub const ALL: [EventKind; EventKind::COUNT] = [
+        EventKind::PacketInject,
+        EventKind::FlitInject,
+        EventKind::FlitEject,
+        EventKind::PacketDelivered,
+        EventKind::VcAllocStall,
+        EventKind::ThresholdCrossing,
+        EventKind::CongestionFlip,
+        EventKind::DvsRequest,
+        EventKind::DvsLock,
+        EventKind::DvsComplete,
+        EventKind::TransitionEnergy,
+        EventKind::FaultNack,
+        EventKind::FaultResidual,
+        EventKind::FaultFailStop,
+        EventKind::OutageStart,
+    ];
+
+    /// Stable snake_case name (used by the JSONL exporter and summaries).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::PacketInject => "packet_inject",
+            EventKind::FlitInject => "flit_inject",
+            EventKind::FlitEject => "flit_eject",
+            EventKind::PacketDelivered => "packet_delivered",
+            EventKind::VcAllocStall => "vc_alloc_stall",
+            EventKind::ThresholdCrossing => "threshold_crossing",
+            EventKind::CongestionFlip => "congestion_flip",
+            EventKind::DvsRequest => "dvs_request",
+            EventKind::DvsLock => "dvs_lock",
+            EventKind::DvsComplete => "dvs_complete",
+            EventKind::TransitionEnergy => "transition_energy",
+            EventKind::FaultNack => "fault_nack",
+            EventKind::FaultResidual => "fault_residual",
+            EventKind::FaultFailStop => "fault_fail_stop",
+            EventKind::OutageStart => "outage_start",
+        }
+    }
+
+    const fn bit(self) -> u32 {
+        1 << (self as u32)
+    }
+}
+
+/// A set of [`EventKind`]s, used to filter what an
+/// [`EventLog`](crate::EventLog) retains. Combine groups with `|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventMask(u32);
+
+impl EventMask {
+    /// Retain nothing (counters still accumulate).
+    pub const NONE: EventMask = EventMask(0);
+    /// Retain every event kind.
+    pub const ALL: EventMask = EventMask((1 << EventKind::COUNT as u32) - 1);
+    /// Packet/flit movement: injections, ejections, deliveries.
+    pub const TRAFFIC: EventMask = EventMask(
+        EventKind::PacketInject.bit()
+            | EventKind::FlitInject.bit()
+            | EventKind::FlitEject.bit()
+            | EventKind::PacketDelivered.bit(),
+    );
+    /// Per-cycle VC-allocation stalls (the chattiest kind).
+    pub const STALLS: EventMask = EventMask(EventKind::VcAllocStall.bit());
+    /// DVS decisions and channel phase changes.
+    pub const DVS: EventMask = EventMask(
+        EventKind::ThresholdCrossing.bit()
+            | EventKind::CongestionFlip.bit()
+            | EventKind::DvsRequest.bit()
+            | EventKind::DvsLock.bit()
+            | EventKind::DvsComplete.bit()
+            | EventKind::TransitionEnergy.bit(),
+    );
+    /// Fault, retransmission, and outage events.
+    pub const FAULTS: EventMask = EventMask(
+        EventKind::FaultNack.bit()
+            | EventKind::FaultResidual.bit()
+            | EventKind::FaultFailStop.bit()
+            | EventKind::OutageStart.bit(),
+    );
+
+    /// Whether `kind` is in the set.
+    pub fn contains(self, kind: EventKind) -> bool {
+        self.0 & kind.bit() != 0
+    }
+}
+
+impl BitOr for EventMask {
+    type Output = EventMask;
+    fn bitor(self, rhs: EventMask) -> EventMask {
+        EventMask(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for EventMask {
+    fn bitor_assign(&mut self, rhs: EventMask) {
+        self.0 |= rhs.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_through_events() {
+        let link = LinkId { node: 3, port: 1 };
+        let cases: Vec<(Event, EventKind)> = vec![
+            (
+                Event::PacketInject {
+                    t: 1,
+                    src: 0,
+                    dest: 5,
+                    packet: 7,
+                },
+                EventKind::PacketInject,
+            ),
+            (
+                Event::DvsRequest {
+                    t: 200,
+                    link,
+                    from: 9,
+                    to: 8,
+                    lu: 0.1,
+                    bu: 0.0,
+                    congested: false,
+                },
+                EventKind::DvsRequest,
+            ),
+            (Event::OutageStart { t: 9, link }, EventKind::OutageStart),
+        ];
+        for (e, k) in cases {
+            assert_eq!(e.kind(), k);
+        }
+    }
+
+    #[test]
+    fn masks_partition_the_kinds() {
+        let union = EventMask::TRAFFIC | EventMask::STALLS | EventMask::DVS | EventMask::FAULTS;
+        assert_eq!(union, EventMask::ALL);
+        for k in EventKind::ALL {
+            assert!(EventMask::ALL.contains(k));
+            assert!(!EventMask::NONE.contains(k));
+            let groups = [
+                EventMask::TRAFFIC,
+                EventMask::STALLS,
+                EventMask::DVS,
+                EventMask::FAULTS,
+            ];
+            assert_eq!(
+                groups.iter().filter(|m| m.contains(k)).count(),
+                1,
+                "{k:?} must belong to exactly one group"
+            );
+        }
+    }
+
+    #[test]
+    fn link_and_time_accessors() {
+        let link = LinkId { node: 2, port: 4 };
+        let e = Event::DvsLock {
+            t: 400,
+            link,
+            target: 3,
+            until: 900,
+        };
+        assert_eq!(e.time(), 400);
+        assert_eq!(e.link(), Some(link));
+        let e = Event::FlitEject {
+            t: 10,
+            node: 1,
+            packet: 0,
+            seq: 4,
+        };
+        assert_eq!(e.link(), None);
+        assert_eq!(format!("{link}"), "n2.p4");
+    }
+}

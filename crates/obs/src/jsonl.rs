@@ -1,0 +1,242 @@
+use std::fmt::Write as _;
+
+use crate::event::{Event, LinkId};
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn link_fields(out: &mut String, link: LinkId) {
+    let _ = write!(out, ",\"node\":{},\"port\":{}", link.node, link.port);
+}
+
+/// Serialize one event as a single-line JSON object. Every record carries
+/// `t` (cycle) and `kind` (the [`EventKind`](crate::EventKind) name);
+/// link-bearing events add `node`/`port`, and the remaining fields mirror
+/// the variant's payload.
+pub fn event_json(event: &Event) -> String {
+    let mut out = String::with_capacity(96);
+    let _ = write!(
+        out,
+        "{{\"t\":{},\"kind\":\"{}\"",
+        event.time(),
+        event.kind().name()
+    );
+    if let Some(link) = event.link() {
+        link_fields(&mut out, link);
+    }
+    match *event {
+        Event::PacketInject {
+            src, dest, packet, ..
+        } => {
+            let _ = write!(out, ",\"src\":{src},\"dest\":{dest},\"packet\":{packet}");
+        }
+        Event::FlitInject {
+            node, packet, seq, ..
+        }
+        | Event::FlitEject {
+            node, packet, seq, ..
+        } => {
+            let _ = write!(out, ",\"node\":{node},\"packet\":{packet},\"seq\":{seq}");
+        }
+        Event::PacketDelivered {
+            node,
+            packet,
+            latency,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"node\":{node},\"packet\":{packet},\"latency\":{latency}"
+            );
+        }
+        Event::VcAllocStall { in_port, in_vc, .. } => {
+            let _ = write!(out, ",\"in_port\":{in_port},\"in_vc\":{in_vc}");
+        }
+        Event::ThresholdCrossing {
+            lu, low, high, up, ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"lu\":{},\"low\":{},\"high\":{},\"up\":{up}",
+                num(lu),
+                num(low),
+                num(high)
+            );
+        }
+        Event::CongestionFlip { congested, .. } => {
+            let _ = write!(out, ",\"congested\":{congested}");
+        }
+        Event::DvsRequest {
+            from,
+            to,
+            lu,
+            bu,
+            congested,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"from\":{from},\"to\":{to},\"lu\":{},\"bu\":{},\"congested\":{congested}",
+                num(lu),
+                num(bu)
+            );
+        }
+        Event::DvsLock { target, until, .. } => {
+            let _ = write!(out, ",\"target\":{target},\"until\":{until}");
+        }
+        Event::DvsComplete { level, .. } => {
+            let _ = write!(out, ",\"level\":{level}");
+        }
+        Event::TransitionEnergy { energy_j, .. } => {
+            let _ = write!(out, ",\"energy_j\":{}", num(energy_j));
+        }
+        Event::FaultNack { .. }
+        | Event::FaultResidual { .. }
+        | Event::FaultFailStop { .. }
+        | Event::OutageStart { .. } => {}
+    }
+    out.push('}');
+    out
+}
+
+/// Serialize an event stream as JSONL: one [`event_json`] record per line,
+/// newline-terminated.
+pub fn events_jsonl<'a>(events: impl IntoIterator<Item = &'a Event>) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&event_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_single_line_and_carry_kind() {
+        let link = LinkId { node: 4, port: 3 };
+        let events = vec![
+            Event::DvsRequest {
+                t: 600,
+                link,
+                from: 9,
+                to: 8,
+                lu: 0.72,
+                bu: 0.1,
+                congested: false,
+            },
+            Event::PacketDelivered {
+                t: 700,
+                node: 5,
+                packet: 12,
+                latency: 43,
+            },
+        ];
+        let jsonl = events_jsonl(&events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"t\":600,\"kind\":\"dvs_request\",\"node\":4,\"port\":3,\
+             \"from\":9,\"to\":8,\"lu\":0.72,\"bu\":0.1,\"congested\":false}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"t\":700,\"kind\":\"packet_delivered\",\"node\":5,\"packet\":12,\"latency\":43}"
+        );
+        assert!(jsonl.ends_with('\n'));
+    }
+
+    #[test]
+    fn every_kind_serializes_with_balanced_braces() {
+        let link = LinkId { node: 0, port: 1 };
+        let all = vec![
+            Event::PacketInject {
+                t: 0,
+                src: 1,
+                dest: 2,
+                packet: 3,
+            },
+            Event::FlitInject {
+                t: 0,
+                node: 1,
+                packet: 3,
+                seq: 0,
+            },
+            Event::FlitEject {
+                t: 0,
+                node: 2,
+                packet: 3,
+                seq: 0,
+            },
+            Event::PacketDelivered {
+                t: 0,
+                node: 2,
+                packet: 3,
+                latency: 10,
+            },
+            Event::VcAllocStall {
+                t: 0,
+                link,
+                in_port: 2,
+                in_vc: 1,
+            },
+            Event::ThresholdCrossing {
+                t: 0,
+                link,
+                lu: 0.8,
+                low: 0.3,
+                high: 0.6,
+                up: true,
+            },
+            Event::CongestionFlip {
+                t: 0,
+                link,
+                congested: true,
+            },
+            Event::DvsRequest {
+                t: 0,
+                link,
+                from: 0,
+                to: 1,
+                lu: 0.2,
+                bu: 0.0,
+                congested: false,
+            },
+            Event::DvsLock {
+                t: 0,
+                link,
+                target: 1,
+                until: 1000,
+            },
+            Event::DvsComplete {
+                t: 0,
+                link,
+                level: 1,
+            },
+            Event::TransitionEnergy {
+                t: 0,
+                link,
+                energy_j: 1.2e-9,
+            },
+            Event::FaultNack { t: 0, link },
+            Event::FaultResidual { t: 0, link },
+            Event::FaultFailStop { t: 0, link },
+            Event::OutageStart { t: 0, link },
+        ];
+        for e in &all {
+            let json = event_json(e);
+            assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+            assert!(!json.contains('\n'));
+            assert!(json.contains(&format!("\"kind\":\"{}\"", e.kind().name())));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Observability layer for the link-DVS simulator.
+//!
+//! The paper's evidence is temporal — per-link frequency tracking
+//! utilization cycle by cycle (Figs. 9–11) — so this crate provides the
+//! substrate for seeing *when* things happen rather than only per-run
+//! aggregates:
+//!
+//! - [`Event`]: typed trace events emitted at the source (flit movement,
+//!   VC-allocation stalls, DVS transition requests/locks/completions with
+//!   the measures that triggered them, threshold crossings, transition
+//!   energy charges, fault and retransmission outcomes).
+//! - [`Tracer`]: the sink trait the simulator is generic over. The default
+//!   [`NoopTracer`] has `ENABLED = false`, so every `record` call — and the
+//!   argument construction feeding it — compiles out of the hot path
+//!   entirely; [`EventLog`] is the in-memory collector with a ring-buffer
+//!   capacity bound and an [`EventMask`] kind filter.
+//! - [`Timeline`]: fixed-stride per-link sample tracks (filled by
+//!   `netsim::TimelineCollector`, which generalizes `ChannelProbe` from one
+//!   channel to the whole network) in bounded ring buffers.
+//! - Exporters: Chrome `trace_event` JSON loadable in Perfetto or
+//!   `chrome://tracing` ([`perfetto_trace`]), CSV timelines matching the
+//!   figure-artifact conventions ([`timeline_csv`], [`track_csv`]), and
+//!   JSONL event streams ([`events_jsonl`]).
+//!
+//! This crate deliberately knows nothing about the simulator: it holds the
+//! data model and serializers only, so `netsim` (and anything above it) can
+//! depend on it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csv;
+mod event;
+mod jsonl;
+mod perfetto;
+mod timeline;
+mod tracer;
+
+pub use csv::{timeline_csv, track_csv, TIMELINE_CSV_HEADER, TRACK_CSV_HEADER};
+pub use dvslink::Cycles;
+pub use event::{Event, EventKind, EventMask, LinkId};
+pub use jsonl::{event_json, events_jsonl};
+pub use perfetto::perfetto_trace;
+pub use timeline::{LinkTimeline, Timeline, TimelineSample};
+pub use tracer::{EventLog, NoopTracer, Tracer};

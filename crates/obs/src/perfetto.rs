@@ -1,0 +1,182 @@
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::event::{Event, LinkId};
+use crate::timeline::Timeline;
+use crate::Cycles;
+
+/// Format a cycle count as trace microseconds (1 cycle = 1 ns).
+fn ts_us(t: Cycles) -> String {
+    format!("{:.3}", t as f64 / 1000.0)
+}
+
+/// Format an `f64` as a JSON number (non-finite values become 0).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn push_counter(out: &mut String, link: LinkId, metric: &str, t: Cycles, value: String) {
+    let _ = write!(
+        out,
+        ",\n{{\"name\":\"{metric} {link}\",\"ph\":\"C\",\"pid\":{},\"ts\":{},\"args\":{{\"{metric}\":{value}}}}}",
+        link.node,
+        ts_us(t),
+    );
+}
+
+/// Serialize a [`Timeline`] and an event stream as Chrome `trace_event`
+/// JSON, loadable in Perfetto (<https://ui.perfetto.dev>) or
+/// `chrome://tracing`.
+///
+/// Layout: each router becomes a process (`pid = node`), each of its output
+/// channels a thread (`tid = port`). Per-sample counter tracks carry link
+/// utilization, DVS level, frequency, and window energy; `DvsLock` events
+/// become duration slices spanning the re-lock window, and every other
+/// link-bearing event becomes an instant on its channel's thread. Events
+/// without a channel (packet/flit movement) are skipped — they belong in
+/// the JSONL stream, not the per-link view.
+///
+/// Timestamps are microseconds assuming a 1 GHz router clock (1 cycle =
+/// 1 ns), matching the paper's 8x8 configuration.
+pub fn perfetto_trace(timeline: &Timeline, events: &[Event]) -> String {
+    let mut links: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for tr in timeline.tracks() {
+        links.insert((tr.id().node, tr.id().port));
+    }
+    for e in events {
+        if let Some(link) = e.link() {
+            links.insert((link.node, link.port));
+        }
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    // Metadata: name each router process once, each channel thread once.
+    let mut first = true;
+    let mut named_nodes: BTreeSet<usize> = BTreeSet::new();
+    for &(node, port) in &links {
+        if named_nodes.insert(node) {
+            let _ = write!(
+                out,
+                "{}{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{node},\"args\":{{\"name\":\"router {node}\"}}}}",
+                if first { "\n" } else { ",\n" },
+            );
+            first = false;
+        }
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{node},\"tid\":{port},\"args\":{{\"name\":\"link n{node}.p{port}\"}}}}",
+        );
+    }
+
+    for tr in timeline.tracks() {
+        let link = tr.id();
+        for s in tr.samples() {
+            push_counter(
+                &mut out,
+                link,
+                "link_utilization",
+                s.end,
+                num(s.link_utilization),
+            );
+            push_counter(&mut out, link, "dvs_level", s.end, format!("{}", s.level));
+            push_counter(&mut out, link, "freq_mhz", s.end, num(s.freq_mhz));
+            push_counter(&mut out, link, "energy_uj", s.end, num(s.energy_j * 1e6));
+        }
+    }
+
+    for e in events {
+        let Some(link) = e.link() else { continue };
+        match *e {
+            Event::DvsLock {
+                t, target, until, ..
+            } => {
+                let dur = until.saturating_sub(t);
+                let _ = write!(
+                    out,
+                    ",\n{{\"name\":\"freq lock -> L{target}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"target_level\":{target}}}}}",
+                    link.node,
+                    link.port,
+                    ts_us(t),
+                    ts_us(dur),
+                );
+            }
+            _ => {
+                let _ = write!(
+                    out,
+                    ",\n{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":{}}}",
+                    e.kind().name(),
+                    link.node,
+                    link.port,
+                    ts_us(e.time()),
+                );
+            }
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::TimelineSample;
+
+    #[test]
+    fn trace_is_structured_json_with_expected_records() {
+        let mut tl = Timeline::new(50);
+        let idx = tl.add_track(LinkId { node: 9, port: 2 }, 4);
+        tl.push(
+            idx,
+            TimelineSample {
+                start: 0,
+                end: 50,
+                link_utilization: 0.25,
+                buffer_utilization: 0.1,
+                level: 4,
+                freq_mhz: 666.7,
+                power_w: 0.9,
+                energy_j: 2.5e-8,
+                flits: 7,
+            },
+        );
+        let link = LinkId { node: 9, port: 2 };
+        let events = vec![
+            Event::DvsLock {
+                t: 100,
+                link,
+                target: 5,
+                until: 1100,
+            },
+            Event::FaultNack { t: 200, link },
+            // No link: must be skipped.
+            Event::PacketInject {
+                t: 1,
+                src: 0,
+                dest: 1,
+                packet: 0,
+            },
+        ];
+        let trace = perfetto_trace(&tl, &events);
+        assert!(trace.starts_with("{\"displayTimeUnit\""));
+        assert!(trace.trim_end().ends_with("]}"));
+        assert!(trace.contains("\"router 9\""));
+        assert!(trace.contains("\"link n9.p2\""));
+        assert!(trace.contains("\"link_utilization n9.p2\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"dur\":1.000"));
+        assert!(trace.contains("\"fault_nack\""));
+        assert!(!trace.contains("packet_inject"));
+        // Balanced braces/brackets is a cheap well-formedness proxy.
+        assert_eq!(
+            trace.matches('{').count(),
+            trace.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(trace.matches('[').count(), trace.matches(']').count());
+    }
+}

@@ -1,0 +1,190 @@
+use std::collections::VecDeque;
+
+use crate::event::LinkId;
+use crate::Cycles;
+
+/// One sampling window of a single channel's state, as captured by
+/// `netsim::TimelineCollector`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineSample {
+    /// First cycle of the window.
+    pub start: Cycles,
+    /// One past the last cycle of the window.
+    pub end: Cycles,
+    /// Fraction of available link slots that carried a flit in the window.
+    pub link_utilization: f64,
+    /// Mean downstream input-buffer occupancy over the window, as a
+    /// fraction of capacity.
+    pub buffer_utilization: f64,
+    /// DVS level at the end of the window (0 = fastest).
+    pub level: u32,
+    /// Link frequency in MHz at the end of the window.
+    pub freq_mhz: f64,
+    /// Link power draw in watts at the end of the window.
+    pub power_w: f64,
+    /// Energy spent by the channel during the window, in joules.
+    pub energy_j: f64,
+    /// Flits transmitted during the window.
+    pub flits: u64,
+}
+
+/// Fixed-stride sample track for one channel, bounded to the most recent
+/// `capacity` samples.
+#[derive(Debug, Clone)]
+pub struct LinkTimeline {
+    id: LinkId,
+    capacity: usize,
+    samples: VecDeque<TimelineSample>,
+    dropped: u64,
+}
+
+impl LinkTimeline {
+    fn new(id: LinkId, capacity: usize) -> LinkTimeline {
+        LinkTimeline {
+            id,
+            capacity,
+            samples: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The channel this track follows.
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// Retained samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &TimelineSample> {
+        self.samples.iter()
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn push(&mut self, sample: TimelineSample) {
+        if self.samples.len() >= self.capacity {
+            self.samples.pop_front();
+            self.dropped += 1;
+        }
+        if self.capacity > 0 {
+            self.samples.push_back(sample);
+        }
+    }
+}
+
+/// A set of per-channel sample tracks captured on a common stride.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    stride: Cycles,
+    tracks: Vec<LinkTimeline>,
+}
+
+impl Timeline {
+    /// An empty timeline whose tracks will be sampled every `stride` cycles.
+    pub fn new(stride: Cycles) -> Timeline {
+        Timeline {
+            stride,
+            tracks: Vec::new(),
+        }
+    }
+
+    /// The sampling stride in cycles.
+    pub fn stride(&self) -> Cycles {
+        self.stride
+    }
+
+    /// Add a track for channel `id` holding at most `capacity` samples;
+    /// returns its index for [`Timeline::push`].
+    pub fn add_track(&mut self, id: LinkId, capacity: usize) -> usize {
+        self.tracks.push(LinkTimeline::new(id, capacity));
+        self.tracks.len() - 1
+    }
+
+    /// Append a sample to track `idx`.
+    pub fn push(&mut self, idx: usize, sample: TimelineSample) {
+        self.tracks[idx].push(sample);
+    }
+
+    /// All tracks, in insertion order.
+    pub fn tracks(&self) -> &[LinkTimeline] {
+        &self.tracks
+    }
+
+    /// A copy retaining only the `n` tracks scoring highest under `key`
+    /// (summed over each track's samples), preserving insertion order among
+    /// the survivors. Used to bound exporter output on large networks.
+    pub fn top_tracks(&self, n: usize, key: impl Fn(&TimelineSample) -> f64) -> Timeline {
+        let mut scored: Vec<(usize, f64)> = self
+            .tracks
+            .iter()
+            .enumerate()
+            .map(|(i, tr)| (i, tr.samples().map(&key).sum::<f64>()))
+            .collect();
+        // Highest score first; ties broken toward the earlier track.
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut keep: Vec<usize> = scored.into_iter().take(n).map(|(i, _)| i).collect();
+        keep.sort_unstable();
+        Timeline {
+            stride: self.stride,
+            tracks: keep.into_iter().map(|i| self.tracks[i].clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(start: Cycles, lu: f64) -> TimelineSample {
+        TimelineSample {
+            start,
+            end: start + 50,
+            link_utilization: lu,
+            buffer_utilization: 0.2,
+            level: 3,
+            freq_mhz: 800.0,
+            power_w: 0.5,
+            energy_j: 1e-8,
+            flits: 10,
+        }
+    }
+
+    #[test]
+    fn tracks_bound_their_history() {
+        let mut tl = Timeline::new(50);
+        let idx = tl.add_track(LinkId { node: 1, port: 0 }, 2);
+        for i in 0..4 {
+            tl.push(idx, sample(i * 50, 0.5));
+        }
+        let tr = &tl.tracks()[0];
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 2);
+        let starts: Vec<Cycles> = tr.samples().map(|s| s.start).collect();
+        assert_eq!(starts, vec![100, 150]);
+    }
+
+    #[test]
+    fn top_tracks_selects_by_key_and_keeps_order() {
+        let mut tl = Timeline::new(50);
+        for (node, lu) in [(0, 0.1), (1, 0.9), (2, 0.5)] {
+            let idx = tl.add_track(LinkId { node, port: 0 }, 8);
+            tl.push(idx, sample(0, lu));
+        }
+        let top = tl.top_tracks(2, |s| s.link_utilization);
+        let nodes: Vec<usize> = top.tracks().iter().map(|tr| tr.id().node).collect();
+        assert_eq!(nodes, vec![1, 2]);
+        assert_eq!(top.stride(), 50);
+    }
+}

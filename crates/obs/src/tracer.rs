@@ -1,0 +1,174 @@
+use std::collections::VecDeque;
+
+use crate::event::{Event, EventKind, EventMask};
+
+/// Sink for simulator trace events.
+///
+/// The simulator (`netsim::Network<T: Tracer>`) is generic over its tracer
+/// and monomorphizes the hot path per implementation. Implementations with
+/// `ENABLED = false` (the default [`NoopTracer`]) let every call site guard
+/// event construction behind `if T::ENABLED`, so the untraced build carries
+/// zero cost — no branches, no argument materialization.
+pub trait Tracer {
+    /// Whether call sites should construct and record events at all.
+    /// Hot-path emission is guarded by this associated constant, so a
+    /// `false` tracer compiles the instrumentation out entirely.
+    const ENABLED: bool = true;
+
+    /// Record one event. Called only when [`Self::ENABLED`] is `true`
+    /// (guarded at the call site), but implementations must tolerate being
+    /// called anyway.
+    fn record(&mut self, event: Event);
+}
+
+/// The default tracer: records nothing, costs nothing.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: Event) {}
+}
+
+/// In-memory event collector with a kind filter and a bounded ring buffer.
+///
+/// Per-kind counters accumulate for *every* recorded event, including kinds
+/// excluded by the mask — so a masked log still answers "how many stalls
+/// happened?" cheaply. Only events whose kind is in the mask are stored;
+/// once `capacity` stored events are held, the oldest is dropped (and
+/// [`dropped`](EventLog::dropped) incremented) to admit the newest.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    mask: EventMask,
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+    counts: [u64; EventKind::COUNT],
+}
+
+impl EventLog {
+    /// A log that stores every event with no capacity bound. Only suitable
+    /// for short runs or narrow masks; prefer [`EventLog::with_capacity`].
+    pub fn unbounded() -> EventLog {
+        EventLog {
+            mask: EventMask::ALL,
+            capacity: usize::MAX,
+            events: VecDeque::new(),
+            dropped: 0,
+            counts: [0; EventKind::COUNT],
+        }
+    }
+
+    /// A log that keeps at most the `capacity` most recent events.
+    pub fn with_capacity(capacity: usize) -> EventLog {
+        EventLog {
+            capacity,
+            ..EventLog::unbounded()
+        }
+    }
+
+    /// Restrict storage to kinds in `mask` (counters still cover all
+    /// kinds). Builder-style: `EventLog::with_capacity(50_000).with_mask(m)`.
+    pub fn with_mask(mut self, mask: EventMask) -> EventLog {
+        self.mask = mask;
+        self
+    }
+
+    /// The stored events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of events currently stored.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are stored.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many stored events were evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events of `kind` recorded, independent of mask and eviction.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Total events recorded across all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl Tracer for EventLog {
+    fn record(&mut self, event: Event) {
+        let kind = event.kind();
+        self.counts[kind as usize] += 1;
+        if !self.mask.contains(kind) {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        if self.capacity > 0 {
+            self.events.push_back(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LinkId;
+
+    fn stall(t: u64) -> Event {
+        Event::VcAllocStall {
+            t,
+            link: LinkId { node: 0, port: 0 },
+            in_port: 1,
+            in_vc: 0,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut log = EventLog::with_capacity(3);
+        for t in 0..5 {
+            log.record(stall(t));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let times: Vec<u64> = log.events().map(|e| e.time()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(log.count(EventKind::VcAllocStall), 5);
+        assert_eq!(log.total(), 5);
+    }
+
+    #[test]
+    fn mask_filters_storage_but_not_counts() {
+        let mut log = EventLog::unbounded().with_mask(EventMask::DVS);
+        log.record(stall(1));
+        log.record(Event::DvsComplete {
+            t: 2,
+            link: LinkId { node: 1, port: 2 },
+            level: 4,
+        });
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.count(EventKind::VcAllocStall), 1);
+        assert_eq!(log.count(EventKind::DvsComplete), 1);
+    }
+
+    #[test]
+    fn noop_tracer_is_disabled() {
+        const { assert!(!NoopTracer::ENABLED) };
+        assert!(EventLog::unbounded().is_empty());
+    }
+}
