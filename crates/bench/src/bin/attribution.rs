@@ -1,0 +1,249 @@
+//! Per-policy attribution report: run the paper's 8x8 mesh under each of
+//! the five link policies and decompose *where the cycles and joules went*.
+//!
+//! - `attribution_latency.csv` — mean packet latency split into source
+//!   queuing, buffer (VC/credit) stalls, router pipeline, serialization at
+//!   the scaled link frequency, DVS lock stalls, and retransmission delay;
+//!   the components sum bit-exactly to the measured mean latency,
+//! - `attribution_energy.csv` — network energy over the measured interval
+//!   split into active transmission, idle, transition overhead, and
+//!   retransmission energy, against the full-speed baseline,
+//! - `attribution_audit.jsonl` — the per-link [`DvsAudit`] rows (one JSON
+//!   object per link, tagged with a leading `policy` key),
+//! - `attribution_audit.csv` — the same rows as CSV,
+//! - `attribution_telemetry.jsonl` — one schema-v3 run-telemetry record per
+//!   policy with simulator throughput and trace completeness.
+//!
+//! Stdout gets the per-policy human summary, so the binary doubles as a
+//! smoke test that the attribution pipeline balances for every policy.
+//!
+//! [`DvsAudit`]: netsim::obs::DvsAudit
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dvspolicy::{
+    DynamicThresholdPolicy, HistoryDvsConfig, HistoryDvsPolicy, ReactiveDvsPolicy,
+    TargetUtilizationPolicy,
+};
+use linkdvs::{RunTelemetry, TraceSummary};
+use linkdvs_bench::{drive_workload, warn_on_trace_drops, FigureOpts};
+use netsim::obs::{DvsAudit, LinkId, AUDIT_CSV_HEADER};
+use netsim::{
+    BreakdownTotals, EventLog, EventMask, LinkPolicy, Network, NetworkConfig, StaticLevelPolicy,
+};
+use trafficgen::{TaskModelConfig, TaskWorkload};
+
+/// A policy constructor, boxed so the five configurations fit one table.
+type PolicyFactory = Box<dyn Fn() -> Box<dyn LinkPolicy>>;
+
+/// The five policy configurations of the paper's evaluation.
+fn policies() -> Vec<(&'static str, PolicyFactory)> {
+    vec![
+        (
+            "no-DVS",
+            Box::new(|| Box::new(StaticLevelPolicy::default()) as Box<dyn LinkPolicy>),
+        ),
+        (
+            "history-DVS",
+            Box::new(|| Box::new(HistoryDvsPolicy::new(HistoryDvsConfig::paper()))),
+        ),
+        (
+            "reactive-DVS",
+            Box::new(|| Box::new(ReactiveDvsPolicy::paper())),
+        ),
+        (
+            "dynamic-threshold-DVS",
+            Box::new(|| Box::new(DynamicThresholdPolicy::paper())),
+        ),
+        (
+            "target-utilization-DVS",
+            Box::new(|| Box::new(TargetUtilizationPolicy::paper_comparable())),
+        ),
+    ]
+}
+
+struct PolicyRun {
+    label: &'static str,
+    breakdown: BreakdownTotals,
+    lat_mean: f64,
+    lat_sum: u128,
+    audit: DvsAudit,
+    telemetry: RunTelemetry,
+}
+
+fn run_policy(
+    opts: &FigureOpts,
+    series: usize,
+    label: &'static str,
+    make: &dyn Fn() -> Box<dyn LinkPolicy>,
+) -> PolicyRun {
+    let cfg = NetworkConfig::paper_8x8();
+    let topo = cfg.topology.clone();
+    let mut net = Network::with_tracer(
+        cfg,
+        |_, _| make(),
+        EventLog::with_capacity(100_000)
+            .with_mask(opts.trace_mask(EventMask::DVS | EventMask::FAULTS)),
+    )
+    .expect("paper config is valid");
+    let mut wl = TaskWorkload::new(TaskModelConfig::paper_100_tasks(), &topo, 1.2, opts.seed);
+
+    let start = Instant::now();
+    let warmup = opts.cycles(100_000);
+    drive_workload(&mut net, &mut wl, warmup);
+    net.begin_measurement();
+    let mstart = net.stats().measurement_start();
+
+    // Snapshot every channel at the start of the measured interval so the
+    // audit reports interval deltas, not since-construction totals.
+    let mut baseline = Vec::new();
+    for node in net.topology().nodes() {
+        for port in 1..net.topology().ports_per_router() {
+            if let Some(s) = net.output_stats(node, port) {
+                baseline.push((node, port, s.ledger, s.cum_lock_stall, s.cum_fault_stall));
+            }
+        }
+    }
+
+    let measure = opts.cycles(400_000);
+    drive_workload(&mut net, &mut wl, measure);
+    let wall_s = start.elapsed().as_secs_f64();
+
+    // Per-link energy at full speed over the same interval: the network's
+    // ceiling power divided evenly across channels (all channels share the
+    // paper's VF table).
+    let full_speed_j = net.max_power_w() / net.channel_count() as f64 * measure as f64 * 1e-9;
+
+    let mut audit = DvsAudit::new();
+    for (node, port, ledger0, lock0, fault0) in baseline {
+        let s = net.output_stats(node, port).expect("port existed at start");
+        let row = audit.link_mut(LinkId { node, port });
+        row.ledger = s.ledger.since(&ledger0);
+        row.lock_stall_cycles = s.cum_lock_stall - lock0;
+        row.fault_stall_cycles = s.cum_fault_stall - fault0;
+        row.full_speed_j = full_speed_j;
+    }
+
+    let stats = *net.stats();
+    let log = net.into_tracer();
+    warn_on_trace_drops(&log);
+    audit.apply_events(log.events().filter(|e| e.time() >= mstart));
+
+    let sim_cycles = warmup + measure;
+    PolicyRun {
+        label,
+        breakdown: *stats.latency_breakdown(),
+        lat_mean: stats.latency().mean().unwrap_or(f64::NAN),
+        lat_sum: stats.latency().sum(),
+        audit,
+        telemetry: RunTelemetry {
+            series,
+            point_index: 0,
+            global_index: series,
+            offered_rate: 1.2,
+            worker: 0,
+            wall_s,
+            sim_cycles,
+            cycles_per_sec: if wall_s > 0.0 {
+                sim_cycles as f64 / wall_s
+            } else {
+                0.0
+            },
+            packets_delivered: stats.packets_delivered(),
+            faults: None,
+            events: Some(TraceSummary::from_log(&log)),
+        },
+    }
+}
+
+fn main() {
+    let opts = FigureOpts::from_env_or_exit();
+    let runs: Vec<PolicyRun> = policies()
+        .iter()
+        .enumerate()
+        .map(|(i, (label, make))| run_policy(&opts, i, label, make.as_ref()))
+        .collect();
+
+    let mut latency_csv = String::from("policy,packets,lat_mean,");
+    latency_csv.push_str(&BreakdownTotals::COMPONENTS.join(","));
+    latency_csv.push('\n');
+    let mut energy_csv = String::from(
+        "policy,active_j,idle_j,transition_j,retransmission_j,total_j,full_speed_j,\
+         savings_factor\n",
+    );
+    let mut audit_jsonl = String::new();
+    let mut audit_csv = format!("policy,{AUDIT_CSV_HEADER}\n");
+
+    println!("== attribution: paper 8x8 mesh, 1.2 pkt/cycle task workload ==");
+    for run in &runs {
+        let b = &run.breakdown;
+        let means = b.means();
+        let _ = write!(
+            latency_csv,
+            "{},{},{:.2}",
+            run.label, b.packets, run.lat_mean
+        );
+        for m in means {
+            let _ = write!(latency_csv, ",{m:.2}");
+        }
+        latency_csv.push('\n');
+        assert_eq!(
+            u128::from(b.total()),
+            run.lat_sum,
+            "{}: latency components must sum exactly to the measured latency",
+            run.label
+        );
+
+        let t = run.audit.totals();
+        let _ = writeln!(
+            energy_csv,
+            "{},{:e},{:e},{:e},{:e},{:e},{:e},{:.4}",
+            run.label,
+            t.ledger.active_j,
+            t.ledger.idle_j,
+            t.ledger.transition_j,
+            t.ledger.retransmission_j,
+            t.ledger.total_j(),
+            t.full_speed_j,
+            t.savings_factor(),
+        );
+
+        for line in run.audit.to_jsonl().lines() {
+            audit_jsonl.push_str(&line.replacen(
+                '{',
+                &format!("{{\"policy\":\"{}\",", run.label),
+                1,
+            ));
+            audit_jsonl.push('\n');
+        }
+        for line in run.audit.to_csv().lines().skip(1) {
+            let _ = writeln!(audit_csv, "{},{line}", run.label);
+        }
+
+        println!("-- {} --", run.label);
+        println!(
+            "{} packets, mean latency {:.1} cycles = {}",
+            b.packets,
+            run.lat_mean,
+            BreakdownTotals::COMPONENTS
+                .iter()
+                .zip(means)
+                .map(|(name, m)| format!("{m:.1} {name}"))
+                .collect::<Vec<_>>()
+                .join(" + "),
+        );
+        print!("{}", run.audit.summary());
+    }
+
+    opts.write_artifact("attribution_latency.csv", &latency_csv);
+    opts.write_artifact("attribution_energy.csv", &energy_csv);
+    opts.write_artifact("attribution_audit.jsonl", &audit_jsonl);
+    opts.write_artifact("attribution_audit.csv", &audit_csv);
+    let mut telemetry = String::new();
+    for run in &runs {
+        telemetry.push_str(&run.telemetry.to_json());
+        telemetry.push('\n');
+    }
+    opts.write_artifact("attribution_telemetry.jsonl", &telemetry);
+}

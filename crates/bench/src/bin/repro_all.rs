@@ -32,6 +32,7 @@ const BINS: &[&str] = &[
     "ablation_parameters",
     "reliability_pareto",
     "timeline",
+    "attribution",
 ];
 
 fn main() {

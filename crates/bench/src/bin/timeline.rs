@@ -8,13 +8,18 @@
 //! - `timeline_trace.json` — a Chrome `trace_event` file of the 16 busiest
 //!   channels plus every captured DVS/fault event; load it in Perfetto
 //!   (<https://ui.perfetto.dev>) to scrub through level transitions,
-//! - `timeline_events.jsonl` — the raw captured event stream.
+//! - `timeline_events.jsonl` — the raw captured event stream,
+//! - `timeline_telemetry.jsonl` — one schema-v3 run-telemetry record with
+//!   simulator throughput and the event-log completeness summary.
 //!
 //! Stdout gets a per-kind event census, so the binary doubles as a smoke
 //! test that the tracing pipeline sees DVS activity at all.
 
+use std::time::Instant;
+
 use dvspolicy::{HistoryDvsConfig, HistoryDvsPolicy};
-use linkdvs_bench::{drive_workload, FigureOpts};
+use linkdvs::{RunTelemetry, TraceSummary};
+use linkdvs_bench::{drive_workload, warn_on_trace_drops, FigureOpts};
 use netsim::obs::{
     events_jsonl, perfetto_trace, timeline_csv, track_csv, Event, EventKind, EventLog, EventMask,
     TRACK_CSV_HEADER,
@@ -29,12 +34,15 @@ fn main() {
     let mut net = Network::with_tracer(
         cfg,
         |_, _| Box::new(HistoryDvsPolicy::new(HistoryDvsConfig::paper())),
-        EventLog::with_capacity(50_000).with_mask(EventMask::DVS | EventMask::FAULTS),
+        EventLog::with_capacity(50_000)
+            .with_mask(opts.trace_mask(EventMask::DVS | EventMask::FAULTS)),
     )
     .expect("paper config is valid");
     let mut wl = TaskWorkload::new(TaskModelConfig::paper_100_tasks(), &topo, 1.2, opts.seed);
 
-    drive_workload(&mut net, &mut wl, opts.cycles(100_000));
+    let start = Instant::now();
+    let warmup = opts.cycles(100_000);
+    drive_workload(&mut net, &mut wl, warmup);
     net.begin_measurement();
 
     // 256 windows across the measured interval, every channel sampled.
@@ -46,8 +54,12 @@ fn main() {
         collector.poll(&net);
     }
 
+    let wall_s = start.elapsed().as_secs_f64();
+    let sim_cycles = warmup + measure;
+    let packets_delivered = net.stats().packets_delivered();
     let timeline = collector.into_timeline();
     let log = net.into_tracer();
+    warn_on_trace_drops(&log);
     let events: Vec<Event> = log.events().copied().collect();
 
     println!("== timeline: paper 8x8 mesh, history DVS, {measure} measured cycles ==");
@@ -91,4 +103,26 @@ fn main() {
         &perfetto_trace(&timeline.top_tracks(16, flits), &events),
     );
     opts.write_artifact("timeline_events.jsonl", &events_jsonl(&events));
+
+    let telemetry = RunTelemetry {
+        series: 0,
+        point_index: 0,
+        global_index: 0,
+        offered_rate: 1.2,
+        worker: 0,
+        wall_s,
+        sim_cycles,
+        cycles_per_sec: if wall_s > 0.0 {
+            sim_cycles as f64 / wall_s
+        } else {
+            0.0
+        },
+        packets_delivered,
+        faults: None,
+        events: Some(TraceSummary::from_log(&log)),
+    };
+    opts.write_artifact(
+        "timeline_telemetry.jsonl",
+        &format!("{}\n", telemetry.to_json()),
+    );
 }

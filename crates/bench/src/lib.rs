@@ -16,10 +16,11 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 use linkdvs::{ExperimentConfig, RunResult, RunTelemetry, SweepPlan};
+use netsim::EventMask;
 
 /// The flags every figure binary accepts.
-pub const USAGE: &str =
-    "usage: <figure-bin> [--quick] [--out <dir>] [--seed <n>] [--jobs <n>] [--progress]";
+pub const USAGE: &str = "usage: <figure-bin> [--quick] [--out <dir>] [--seed <n>] [--jobs <n>] \
+     [--progress] [--trace-kinds <kind,...>]";
 
 /// A rejected command line: what was wrong with it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +47,9 @@ pub struct FigureOpts {
     pub jobs: usize,
     /// Stream per-point progress to stderr as points complete.
     pub progress: bool,
+    /// Event kinds to trace (`--trace-kinds`); `None` = the binary's
+    /// default mask.
+    pub trace_kinds: Option<EventMask>,
 }
 
 impl Default for FigureOpts {
@@ -56,6 +60,7 @@ impl Default for FigureOpts {
             seed: 0x11d5,
             jobs: 0,
             progress: false,
+            trace_kinds: None,
         }
     }
 }
@@ -99,7 +104,19 @@ impl FigureOpts {
                         .parse()
                         .map_err(|_| UsageError("--jobs must be an integer".into()))?;
                 }
-                other => return Err(UsageError(format!("unknown argument {other}"))),
+                "--trace-kinds" => {
+                    let s = args
+                        .next()
+                        .ok_or_else(|| UsageError("--trace-kinds needs a value".into()))?;
+                    opts.trace_kinds = Some(EventMask::from_names(&s).map_err(UsageError)?);
+                }
+                other => {
+                    if let Some(v) = other.strip_prefix("--trace-kinds=") {
+                        opts.trace_kinds = Some(EventMask::from_names(v).map_err(UsageError)?);
+                    } else {
+                        return Err(UsageError(format!("unknown argument {other}")));
+                    }
+                }
             }
         }
         Ok(opts)
@@ -135,6 +152,12 @@ impl FigureOpts {
         cfg
     }
 
+    /// The event mask a tracing binary should record: the user's
+    /// `--trace-kinds` selection when given, else `default`.
+    pub fn trace_mask(&self, default: EventMask) -> EventMask {
+        self.trace_kinds.unwrap_or(default)
+    }
+
     /// Scale an arbitrary cycle count by the quick factor.
     pub fn cycles(&self, full: u64) -> u64 {
         if self.quick {
@@ -153,6 +176,26 @@ impl FigureOpts {
         f.write_all(contents.as_bytes()).expect("write output file");
         eprintln!("wrote {}", path.display());
     }
+}
+
+/// Warn on stderr when `log` evicted events, naming the kinds lost: trace
+/// artifacts built from the log are missing their *oldest* events, so any
+/// event-derived attribution undercounts. Silent when nothing was dropped.
+pub fn warn_on_trace_drops(log: &netsim::EventLog) {
+    if log.dropped() == 0 {
+        return;
+    }
+    let detail: Vec<String> = netsim::EventKind::ALL
+        .iter()
+        .filter(|k| log.dropped_count(**k) > 0)
+        .map(|k| format!("{} x{}", k.name(), log.dropped_count(*k)))
+        .collect();
+    eprintln!(
+        "warning: event ring evicted {} events ({}); oldest events are missing from \
+         trace artifacts — raise the log capacity or narrow --trace-kinds",
+        log.dropped(),
+        detail.join(", ")
+    );
 }
 
 /// Run labeled sweep series — the body of every curve-style figure binary.
@@ -470,6 +513,40 @@ mod tests {
             let err = parse(args).unwrap_err();
             assert_eq!(err.to_string(), needle, "args: {args:?}");
         }
+    }
+
+    #[test]
+    fn parse_trace_kinds_both_spellings() {
+        use netsim::EventKind;
+        let spaced = parse(&["--trace-kinds", "dvs_lock,packet_attribution"]).unwrap();
+        let joined = parse(&["--trace-kinds=dvs_lock,packet_attribution"]).unwrap();
+        assert_eq!(spaced, joined);
+        let mask = spaced.trace_kinds.unwrap();
+        assert!(mask.contains(EventKind::DvsLock));
+        assert!(mask.contains(EventKind::PacketAttribution));
+        assert!(!mask.contains(EventKind::FlitInject));
+        // The selection overrides the binary's default.
+        assert_eq!(spaced.trace_mask(EventMask::ALL), mask);
+        // Without the flag the default wins.
+        assert_eq!(
+            parse(&[]).unwrap().trace_mask(EventMask::DVS),
+            EventMask::DVS
+        );
+    }
+
+    #[test]
+    fn parse_trace_kinds_rejects_unknown_kind() {
+        let err = parse(&["--trace-kinds", "dvs_lock,bogus"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bogus"), "names the offender: {msg}");
+        assert!(
+            msg.contains("packet_attribution") && msg.contains("dvs"),
+            "lists valid kinds and groups: {msg}"
+        );
+        assert!(parse(&["--trace-kinds"])
+            .unwrap_err()
+            .to_string()
+            .contains("needs a value"));
     }
 
     #[test]

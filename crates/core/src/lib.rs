@@ -52,6 +52,8 @@ pub use result::{write_csv, RunResult, SweepSummary};
 pub use runner::{
     run_point, run_point_full, run_point_indexed, run_point_indexed_full, sweep, zero_load_latency,
 };
-pub use telemetry::{write_telemetry_jsonl, FaultSummary, RunTelemetry, TELEMETRY_SCHEMA_VERSION};
+pub use telemetry::{
+    write_telemetry_jsonl, FaultSummary, RunTelemetry, TraceSummary, TELEMETRY_SCHEMA_VERSION,
+};
 
 pub use dvslink::Cycles;

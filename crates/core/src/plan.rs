@@ -224,6 +224,7 @@ fn execute_point(point: &SweepPoint, global_index: usize, worker: usize) -> Poin
             },
             packets_delivered: result.packets_delivered,
             faults,
+            events: None,
         },
         result,
     }

@@ -1,6 +1,6 @@
 use std::io::{self, Write};
 
-use netsim::FaultStats;
+use netsim::{EventKind, EventLog, FaultStats};
 
 /// Version of the telemetry JSONL record format, serialized as the leading
 /// `schema` key of every record.
@@ -11,7 +11,10 @@ use netsim::FaultStats;
 /// - **1** (implicit): the original record, no `schema` key.
 /// - **2**: `schema` key added; optional `faults` object (omitted when the
 ///   fault subsystem is disabled).
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
+/// - **3**: optional `events` object (omitted when the run traced nothing):
+///   events recorded/stored/dropped plus per-kind drop counts, so consumers
+///   can tell whether a trace artifact is complete before analyzing it.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 3;
 
 /// Fault/recovery outcome of one executed sweep point, aggregated over
 /// every channel in the network. Present only when the experiment enabled
@@ -51,6 +54,42 @@ impl From<FaultStats> for FaultSummary {
     }
 }
 
+/// Trace-completeness summary of one run's [`EventLog`]: how many events
+/// the simulator recorded, how many the log still holds, and how many the
+/// capacity bound evicted (overall and per kind).
+///
+/// A non-zero `dropped` means downstream trace artifacts (JSONL/Perfetto)
+/// are missing their *oldest* events — attribution built from the log's
+/// event stream undercounts accordingly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Events recorded across all kinds, independent of mask and eviction.
+    pub recorded: u64,
+    /// Events still stored in the log.
+    pub stored: u64,
+    /// Stored events evicted by the capacity bound.
+    pub dropped: u64,
+    /// Per-kind eviction counts, `(kind_name, dropped)`, only kinds with a
+    /// non-zero count, in [`EventKind`] declaration order.
+    pub dropped_by_kind: Vec<(String, u64)>,
+}
+
+impl TraceSummary {
+    /// Summarize `log` at the end of a run.
+    pub fn from_log(log: &EventLog) -> Self {
+        Self {
+            recorded: log.total(),
+            stored: log.len() as u64,
+            dropped: log.dropped(),
+            dropped_by_kind: EventKind::ALL
+                .iter()
+                .filter(|k| log.dropped_count(**k) > 0)
+                .map(|k| (k.name().to_string(), log.dropped_count(*k)))
+                .collect(),
+        }
+    }
+}
+
 /// Observability record for one executed sweep point: where it ran, how
 /// long it took, and how fast the simulator churned through it.
 ///
@@ -82,6 +121,11 @@ pub struct RunTelemetry {
     /// `None` keeps the serialized record byte-identical to pre-fault
     /// builds, so fault-free artifact diffs stay clean.
     pub faults: Option<FaultSummary>,
+    /// Event-trace completeness, when the run captured an [`EventLog`].
+    /// `None` (the untraced common case) omits the key entirely, keeping
+    /// the record layout identical to schema v2 apart from the version
+    /// number.
+    pub events: Option<TraceSummary>,
 }
 
 impl RunTelemetry {
@@ -127,6 +171,20 @@ impl RunTelemetry {
                 f.delivered_attempts,
             ));
         }
+        if let Some(e) = &self.events {
+            json.push_str(&format!(
+                ",\"events\":{{\"recorded\":{},\"stored\":{},\"dropped\":{}",
+                e.recorded, e.stored, e.dropped,
+            ));
+            json.push_str(",\"dropped_by_kind\":{");
+            for (i, (name, n)) in e.dropped_by_kind.iter().enumerate() {
+                if i > 0 {
+                    json.push(',');
+                }
+                json.push_str(&format!("\"{name}\":{n}"));
+            }
+            json.push_str("}}");
+        }
         json.push('}');
         json
     }
@@ -160,6 +218,7 @@ mod tests {
             cycles_per_sec: 800_000.0,
             packets_delivered: 12345,
             faults: None,
+            events: None,
         }
     }
 
@@ -221,6 +280,69 @@ mod tests {
         assert!(j.contains("\"delivered_attempts\":991}"));
         assert!(j.ends_with("}}"));
         assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn untraced_record_keeps_v2_layout() {
+        // Round-trip guarantee for v2 consumers: apart from the bumped
+        // schema number, a record with neither faults nor events is
+        // byte-identical to what schema v2 produced.
+        let j = record().to_json();
+        let expected = concat!(
+            "{\"schema\":3,",
+            "\"series\":1,\"point_index\":2,\"global_index\":14,",
+            "\"offered_rate\":0.8,\"worker\":3,\"wall_s\":1.250000,",
+            "\"sim_cycles\":1000000,\"cycles_per_sec\":800000.0,",
+            "\"packets_delivered\":12345}"
+        );
+        assert_eq!(j, expected);
+        let v2 = expected.replacen("\"schema\":3,", "\"schema\":2,", 1);
+        assert!(
+            !v2.contains("events") && !v2.contains("faults"),
+            "v2 layout must be reproducible by patching only the version"
+        );
+    }
+
+    #[test]
+    fn trace_summary_serializes_after_faults() {
+        let mut r = record();
+        r.events = Some(TraceSummary {
+            recorded: 5000,
+            stored: 1000,
+            dropped: 4000,
+            dropped_by_kind: vec![
+                ("flit_wire".to_string(), 3500),
+                ("credit_wire".to_string(), 500),
+            ],
+        });
+        let j = r.to_json();
+        assert!(j.contains(
+            "\"events\":{\"recorded\":5000,\"stored\":1000,\"dropped\":4000,\
+             \"dropped_by_kind\":{\"flit_wire\":3500,\"credit_wire\":500}}"
+        ));
+        assert!(j.ends_with("}}"));
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn trace_summary_from_log_reports_per_kind_drops() {
+        let mut log = EventLog::with_capacity(2);
+        for t in 0..5 {
+            netsim::Tracer::record(
+                &mut log,
+                netsim::Event::PacketInject {
+                    t,
+                    packet: t,
+                    src: 0,
+                    dest: 1,
+                },
+            );
+        }
+        let s = TraceSummary::from_log(&log);
+        assert_eq!(s.recorded, 5);
+        assert_eq!(s.stored, 2);
+        assert_eq!(s.dropped, 3);
+        assert_eq!(s.dropped_by_kind, vec![("packet_inject".to_string(), 3)]);
     }
 
     #[test]

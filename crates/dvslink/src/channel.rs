@@ -1,4 +1,6 @@
-use crate::{Cycles, EnergyMeter, RegulatorParams, TransitionError, TransitionTiming, VfTable};
+use crate::{
+    Cycles, EnergyLedger, EnergyMeter, RegulatorParams, TransitionError, TransitionTiming, VfTable,
+};
 
 /// The phase a [`DvsChannel`] is currently in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -232,10 +234,27 @@ impl DvsChannel {
     /// mutating the channel: the meter's integrated total plus the current
     /// power held constant since the last state change. Exact, because power
     /// only changes at state changes, and every state change syncs the
-    /// meter.
+    /// meter. Defined as the [`ledger_at`](Self::ledger_at) total, so the
+    /// attribution split always sums bit-exactly to this value.
     pub fn energy_total_at(&self, now: Cycles) -> f64 {
+        self.ledger_at(now).total_j()
+    }
+
+    /// Attribution of all energy consumed through cycle `now`: operating
+    /// energy split into active transmission and idle, plus the transition
+    /// and retransmission overhead buckets. The un-synced tail (current
+    /// power held since the last state change) lands in the idle bucket —
+    /// any flit transmitted during it has already moved its wire energy to
+    /// active. `ledger_at(now).total_j()` is bit-identical to
+    /// [`energy_total_at`](Self::energy_total_at).
+    pub fn ledger_at(&self, now: Cycles) -> EnergyLedger {
         let tail = now.saturating_sub(self.last_meter_sync);
-        self.meter.total_j() + self.power_w() * tail as f64 * 1e-9
+        EnergyLedger {
+            active_j: self.meter.active_j(),
+            idle_j: self.meter.idle_j() + self.power_w() * tail as f64 * 1e-9,
+            transition_j: self.meter.transition_j(),
+            retransmission_j: self.meter.retransmission_j(),
+        }
     }
 
     /// Transition activity counters.
@@ -257,6 +276,15 @@ impl DvsChannel {
         self.sync_meter(now);
         let e = self.flit_energy_j();
         self.meter.add_retransmission(e);
+    }
+
+    /// Attribute one successful flit transmission: move the flit's wire
+    /// energy at the current operating point from the idle to the active
+    /// bucket. The total is unchanged — this only refines the split, so it
+    /// must be called exactly once per delivered flit crossing.
+    pub fn charge_flit_transmission(&mut self, now: Cycles) {
+        self.sync_meter(now);
+        self.meter.move_to_active(self.flit_energy_j());
     }
 
     /// Begin a one-level speed-up at cycle `now`.
@@ -626,6 +654,33 @@ mod tests {
         // power: 23.6 mW x 8 links x 8 ns = 1.5104 nJ.
         let slow = channel_at(0).with_link_count(8);
         assert!((slow.flit_energy_j() - 1.5104e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ledger_splits_total_bit_exactly() {
+        let mut ch = channel_at(9).with_link_count(8);
+        ch.advance(10_000);
+        ch.charge_flit_transmission(10_000);
+        ch.charge_flit_transmission(10_001);
+        ch.charge_retransmission(10_002);
+        ch.request_step_down(20_000).unwrap();
+        ch.advance(500_000);
+        // Mid-flight read with an un-synced tail: the split still sums
+        // bit-identically to the total (same code path).
+        for now in [500_000, 500_123, 1_000_000] {
+            let ledger = ch.ledger_at(now);
+            assert_eq!(
+                ledger.total_j().to_bits(),
+                ch.energy_total_at(now).to_bits()
+            );
+        }
+        let ledger = ch.ledger_at(1_000_000);
+        assert!(ledger.active_j > 0.0);
+        assert!(ledger.idle_j > 0.0);
+        assert!(ledger.transition_j > 0.0);
+        assert!(ledger.retransmission_j > 0.0);
+        // Active is exactly the wire energy of the two charged flits.
+        assert!((ledger.active_j - 2.0 * 1.6e-9).abs() < 1e-18);
     }
 
     #[test]

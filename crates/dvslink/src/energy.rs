@@ -61,14 +61,59 @@ impl Default for RegulatorParams {
     }
 }
 
-/// Accumulates link energy, split into operating energy (power × time) and
+/// Where a channel's joules went, as reported by
+/// [`DvsChannel::ledger_at`](crate::DvsChannel::ledger_at): a four-way
+/// split of the same energy the snapshot total measures.
+///
+/// [`total_j`](Self::total_j) uses the *same* summation order as
+/// [`EnergyMeter::total_j`], so the ledger total is bit-identical to the
+/// channel's `energy_total_at` for the same instant — the split is exact,
+/// not approximate.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyLedger {
+    /// Energy spent actively serializing flits across the wires, in joules.
+    pub active_j: f64,
+    /// Energy burned holding the links powered while no flit was crossing
+    /// (including transition phases where the supply sits high), in joules.
+    pub idle_j: f64,
+    /// Voltage-transition overhead energy (Stratakos regulator term), in
+    /// joules.
+    pub transition_j: f64,
+    /// Wire energy of retransmitted corrupted flits, in joules.
+    pub retransmission_j: f64,
+}
+
+impl EnergyLedger {
+    /// Total across all buckets — bit-identical to the snapshot link-energy
+    /// total for the instant the ledger was taken at. The summation order
+    /// is canonical; do not reorder.
+    pub fn total_j(&self) -> f64 {
+        ((self.active_j + self.idle_j) + self.transition_j) + self.retransmission_j
+    }
+
+    /// Component-wise difference `self − earlier`, for attributing energy
+    /// spent over a measurement interval. Reporting only — differences of
+    /// rounded sums are not themselves bit-exact.
+    pub fn since(&self, earlier: &EnergyLedger) -> EnergyLedger {
+        EnergyLedger {
+            active_j: self.active_j - earlier.active_j,
+            idle_j: self.idle_j - earlier.idle_j,
+            transition_j: self.transition_j - earlier.transition_j,
+            retransmission_j: self.retransmission_j - earlier.retransmission_j,
+        }
+    }
+}
+
+/// Accumulates link energy, split into operating energy (power × time,
+/// itself divided into active-transmission and idle shares) and
 /// voltage-transition overhead energy.
 ///
 /// Times are in router cycles (nanoseconds at the paper's 1 GHz router
 /// clock), so `add_operating(p, dt)` adds `p · dt · 1 ns` joules.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyMeter {
-    operating_j: f64,
+    active_j: f64,
+    idle_j: f64,
     transition_j: f64,
     retransmission_j: f64,
     voltage_transitions: u64,
@@ -82,8 +127,22 @@ impl EnergyMeter {
     }
 
     /// Add `power_w` watts drawn for `cycles` router cycles (1 ns each).
+    ///
+    /// Operating energy lands in the idle bucket first;
+    /// [`move_to_active`](Self::move_to_active) reclassifies the share
+    /// spent on actual flit transmissions.
     pub fn add_operating(&mut self, power_w: f64, cycles: u64) {
-        self.operating_j += power_w * cycles as f64 * 1e-9;
+        self.idle_j += power_w * cycles as f64 * 1e-9;
+    }
+
+    /// Reclassify `energy_j` joules of operating energy from idle to
+    /// active transmission. The operating total is unchanged; only the
+    /// split moves. Idle can momentarily undershoot zero by an ulp at
+    /// fully saturated links — the buckets are an attribution, not
+    /// independent meters.
+    pub fn move_to_active(&mut self, energy_j: f64) {
+        self.active_j += energy_j;
+        self.idle_j -= energy_j;
     }
 
     /// Add a voltage-transition overhead of `energy_j` joules.
@@ -100,9 +159,20 @@ impl EnergyMeter {
         self.retransmissions += 1;
     }
 
-    /// Energy spent operating (power × time), in joules.
+    /// Energy spent operating (power × time), in joules: the idle and
+    /// active buckets together.
     pub fn operating_j(&self) -> f64 {
-        self.operating_j
+        self.active_j + self.idle_j
+    }
+
+    /// Operating energy attributed to active flit transmission, in joules.
+    pub fn active_j(&self) -> f64 {
+        self.active_j
+    }
+
+    /// Operating energy attributed to idle link time, in joules.
+    pub fn idle_j(&self) -> f64 {
+        self.idle_j
     }
 
     /// Overhead energy spent in voltage transitions, in joules.
@@ -115,9 +185,10 @@ impl EnergyMeter {
         self.retransmission_j
     }
 
-    /// Total accumulated energy in joules.
+    /// Total accumulated energy in joules. The summation order matches
+    /// [`EnergyLedger::total_j`] so the two stay bit-identical.
     pub fn total_j(&self) -> f64 {
-        self.operating_j + self.transition_j + self.retransmission_j
+        ((self.active_j + self.idle_j) + self.transition_j) + self.retransmission_j
     }
 
     /// Number of voltage transitions recorded.
@@ -144,7 +215,7 @@ impl EnergyMeter {
     /// Reset the meter to zero, returning the prior totals
     /// `(operating_j, transition_j, retransmission_j)`.
     pub fn reset(&mut self) -> (f64, f64, f64) {
-        let out = (self.operating_j, self.transition_j, self.retransmission_j);
+        let out = (self.operating_j(), self.transition_j, self.retransmission_j);
         *self = Self::default();
         out
     }
@@ -201,6 +272,36 @@ mod tests {
         assert_eq!(m.total_j(), 0.0);
         assert_eq!(m.voltage_transitions(), 0);
         assert_eq!(m.retransmissions(), 0);
+    }
+
+    #[test]
+    fn move_to_active_preserves_operating_total() {
+        let mut m = EnergyMeter::new();
+        m.add_operating(0.2, 1_000_000);
+        let before = m.operating_j();
+        m.move_to_active(5e-5);
+        m.move_to_active(3e-5);
+        assert!((m.active_j() - 8e-5).abs() < 1e-18);
+        assert!((m.idle_j() - 1.2e-4).abs() < 1e-12);
+        assert!((m.operating_j() - before).abs() < 1e-16);
+    }
+
+    #[test]
+    fn ledger_total_matches_meter_total_bitwise() {
+        let mut m = EnergyMeter::new();
+        m.add_operating(0.13, 777_777);
+        m.move_to_active(1.1e-5);
+        m.add_transition(2.72e-6);
+        m.add_retransmission(1.6e-9);
+        let ledger = EnergyLedger {
+            active_j: m.active_j(),
+            idle_j: m.idle_j(),
+            transition_j: m.transition_j(),
+            retransmission_j: m.retransmission_j(),
+        };
+        assert_eq!(ledger.total_j().to_bits(), m.total_j().to_bits());
+        let delta = ledger.since(&EnergyLedger::default());
+        assert_eq!(delta, ledger);
     }
 
     #[test]

@@ -61,7 +61,7 @@ mod router_power;
 mod timing;
 
 pub use channel::{ChannelPhase, DvsChannel, TransitionStats};
-pub use energy::{EnergyMeter, RegulatorParams};
+pub use energy::{EnergyLedger, EnergyMeter, RegulatorParams};
 pub use error::{LevelError, TransitionError};
 pub use level::{VfLevel, VfTable, VfTableBuilder, PAPER_LEVELS};
 pub use noise::NoiseModel;

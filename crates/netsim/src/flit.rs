@@ -1,3 +1,5 @@
+use obs::LatencyBreakdown;
+
 use crate::{Cycles, NodeId};
 
 /// Unique identifier of a packet within one simulation.
@@ -41,6 +43,12 @@ pub struct Flit {
     /// definition, a pattern the CRC cannot see and is accounted as a
     /// residual error instead of mutating simulator state).
     pub crc: u16,
+    /// Running latency attribution, updated as the flit moves: the
+    /// components always sum to the cycles elapsed since `created_at` at
+    /// each accounting point, so the tail flit's breakdown sums bit-exactly
+    /// to the packet's measured latency at ejection. Not part of the
+    /// link-level CRC — it is bookkeeping, not transmitted identity.
+    pub delay: LatencyBreakdown,
 }
 
 impl Flit {
@@ -102,6 +110,7 @@ pub fn make_packet(
             dest,
             created_at,
             crc: identity_crc(packet, i as u8, src, dest, created_at),
+            delay: LatencyBreakdown::default(),
         })
         .collect()
 }

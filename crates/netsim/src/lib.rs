@@ -55,11 +55,14 @@ mod topology;
 
 pub use obs;
 
-pub use dvslink::Cycles;
+pub use dvslink::{Cycles, EnergyLedger};
 pub use faults::{FaultConfig, FaultConfigError, FaultStats, OutageConfig, RecoveryConfig};
 pub use flit::{Flit, FlitKind, PacketId};
 pub use network::{Network, NetworkConfig, NetworkError};
-pub use obs::{Event, EventKind, EventLog, EventMask, LinkId, NoopTracer, Tracer};
+pub use obs::{
+    BreakdownTotals, Event, EventKind, EventLog, EventMask, LatencyBreakdown, LinkId, NoopTracer,
+    Tracer,
+};
 pub use policy::{LinkPolicy, PolicyObservation, StaticLevelPolicy, WindowMeasures};
 pub use probe::{ChannelProbe, ProbeSample};
 pub use router::{ActivityCounters, InputPortStats, OutputPortStats};

@@ -384,13 +384,28 @@ impl<T: Tracer> Network<T> {
             }
             if d.flit.is_tail() {
                 let latency = d.ejected_at - d.flit.created_at;
-                self.stats.on_packet_delivered(latency);
+                debug_assert_eq!(
+                    d.flit.delay.total(),
+                    latency,
+                    "latency attribution must sum exactly to measured latency \
+                     (packet {} at node {})",
+                    d.flit.packet,
+                    d.flit.dest
+                );
+                self.stats.on_packet_delivered(latency, &d.flit.delay);
                 if T::ENABLED {
                     self.tracer.record(Event::PacketDelivered {
                         t: now,
                         node: d.flit.dest,
                         packet: d.flit.packet,
                         latency,
+                    });
+                    self.tracer.record(Event::PacketAttribution {
+                        t: now,
+                        node: d.flit.dest,
+                        packet: d.flit.packet,
+                        latency,
+                        breakdown: d.flit.delay,
                     });
                 }
             }
@@ -448,6 +463,22 @@ impl<T: Tracer> Network<T> {
     /// (or construction), in joules. Includes transition overhead energy.
     pub fn energy_j(&self) -> f64 {
         self.total_energy_uncorrected() - self.energy_rebase_j
+    }
+
+    /// Network-wide energy attribution since construction: the sum of every
+    /// channel's ledger. Unlike [`energy_j`](Self::energy_j) this is not
+    /// rebased at `begin_measurement`; take per-channel ledger deltas (see
+    /// `EnergyLedger::since`) for interval attribution.
+    pub fn energy_ledger(&self) -> dvslink::EnergyLedger {
+        let mut total = dvslink::EnergyLedger::default();
+        for o in self.routers.iter().flat_map(|r| r.outputs.iter().flatten()) {
+            let l = o.channel.ledger_at(self.time);
+            total.active_j += l.active_j;
+            total.idle_j += l.idle_j;
+            total.transition_j += l.transition_j;
+            total.retransmission_j += l.retransmission_j;
+        }
+        total
     }
 
     /// Average network link power over the measurement interval, in watts.

@@ -1,6 +1,6 @@
 use std::collections::VecDeque;
 
-use dvslink::{ChannelPhase, DvsChannel};
+use dvslink::{ChannelPhase, DvsChannel, EnergyLedger};
 use faults::{ChannelFaultModel, FaultStats, TransmitOutcome};
 use obs::{Event, LinkId, Tracer};
 
@@ -67,6 +67,25 @@ pub(crate) struct CreditWire {
 pub(crate) struct Delivery {
     pub flit: Flit,
     pub ejected_at: Cycles,
+}
+
+/// A flit parked in an output port's staging buffer between winning switch
+/// allocation and transmitting on the link, with the stamps the latency
+/// attribution needs: when it was staged and the port's stall counters at
+/// that instant (deltas at transmit time attribute the egress interval).
+#[derive(Debug, Clone, Copy)]
+struct StagedFlit {
+    /// First cycle the flit may transmit (switch grant + pipeline depth).
+    ready_at: Cycles,
+    /// Downstream VC the flit was allocated.
+    out_vc: usize,
+    /// Cycle the flit won switch allocation (egress interval start).
+    sa_at: Cycles,
+    /// Port's `cum_lock_stall` when staged.
+    lock_stall0: u64,
+    /// Port's `cum_fault_stall` when staged.
+    fault_stall0: u64,
+    flit: Flit,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,7 +211,7 @@ pub(crate) struct OutputPort {
     /// Serialization accumulator in freq_x9 units; a link slot opens when it
     /// reaches 9000 (one router-clock's worth of the maximum link rate).
     acc: u32,
-    staging: VecDeque<(Cycles, usize, Flit)>,
+    staging: VecDeque<StagedFlit>,
     staging_cap: usize,
     credits: Vec<u32>,
     vc_holder: Vec<Option<(PortId, usize)>>,
@@ -209,6 +228,15 @@ pub(crate) struct OutputPort {
     pub(crate) cum_flits: u64,
     pub(crate) cum_slots: u64,
     pub(crate) cum_occ_sum: u64,
+    /// Cycles a staged flit waited because a DVS frequency lock disabled
+    /// the link (realized stalls only — disabled idle cycles don't count).
+    /// At most one stall counter increments per cycle, so staged-flit
+    /// deltas partition the egress interval exactly.
+    pub(crate) cum_lock_stall: u64,
+    /// Cycles the link could not transmit (or wasted a crossing) because of
+    /// faults: outages, fail-stop, NACKed transmissions, and recovery
+    /// hold-off.
+    pub(crate) cum_fault_stall: u64,
     snap_flits: u64,
     snap_slots: u64,
     snap_occ_sum: u64,
@@ -251,6 +279,15 @@ pub struct OutputPortStats {
     /// Channel energy consumed since construction, in joules (transmission
     /// + leakage + transition overhead).
     pub energy_j: f64,
+    /// The same energy split by cause; `ledger.total_j()` is bit-identical
+    /// to `energy_j` (both come from the channel's ledger).
+    pub ledger: EnergyLedger,
+    /// Cumulative flit-cycles stalled behind DVS frequency locks (realized
+    /// stalls: cycles a staged flit waited on a lock-disabled link).
+    pub cum_lock_stall: u64,
+    /// Cumulative flit-cycles lost to faults: outages, dead links, NACKed
+    /// crossings, and recovery hold-off, counted while a flit waited.
+    pub cum_fault_stall: u64,
     /// Fault/retry/residual-error counters (None when faults are disabled).
     pub fault: Option<FaultStats>,
 }
@@ -332,6 +369,8 @@ impl Router {
                     cum_flits: 0,
                     cum_slots: 0,
                     cum_occ_sum: 0,
+                    cum_lock_stall: 0,
+                    cum_fault_stall: 0,
                     snap_flits: 0,
                     snap_slots: 0,
                     snap_occ_sum: 0,
@@ -389,6 +428,7 @@ impl Router {
         let Some(&front) = self.source_queue.front() else {
             return;
         };
+        let mut front = front;
         let local = &mut self.inputs[LOCAL_PORT];
         let vc = match self.inj_vc {
             Some(vc) => vc,
@@ -409,6 +449,8 @@ impl Router {
         if !local.vcs[vc].has_space() {
             return; // stall; source queuing time keeps accruing
         }
+        // Everything between creation and injection is source queuing.
+        front.delay.source_queue = (now - front.created_at) as u32;
         local.vcs[vc].fifo.push_back((front, now));
         self.buffered += 1;
         self.activity.buffer_writes += 1;
@@ -617,7 +659,7 @@ impl Router {
                 VcState::Active { out_port, out_vc } => (out_port, out_vc),
                 _ => unreachable!("granted VC must be active"),
             };
-            let (flit, arrived) = self.inputs[in_port].vcs[in_vc]
+            let (mut flit, arrived) = self.inputs[in_port].vcs[in_vc]
                 .fifo
                 .pop_front()
                 .expect("granted VC has a flit");
@@ -627,6 +669,9 @@ impl Router {
             let input = &mut self.inputs[in_port];
             input.cum_age_sum += now - arrived;
             input.cum_departures += 1;
+            // Time buffered waiting for VC allocation, credits, and switch
+            // arbitration at this hop (the ejection hop included).
+            flit.delay.buffer += (now - arrived) as u32;
             if flit.is_tail() {
                 input.vcs[in_vc].state = VcState::Idle;
             }
@@ -655,8 +700,14 @@ impl Router {
                 if flit.is_tail() {
                     out.vc_holder[out_vc] = None;
                 }
-                out.staging
-                    .push_back((now + self.pipeline_extra, out_vc, flit));
+                out.staging.push_back(StagedFlit {
+                    ready_at: now + self.pipeline_extra,
+                    out_vc,
+                    sa_at: now,
+                    lock_stall0: out.cum_lock_stall,
+                    fault_stall0: out.cum_fault_stall,
+                    flit,
+                });
                 self.activity.crossbar_traversals += 1;
             }
         }
@@ -805,6 +856,7 @@ impl Router {
         tracer: &mut T,
     ) {
         let id = self.id;
+        let pipeline_extra = self.pipeline_extra;
         for (port, slot) in self.outputs.iter_mut().enumerate() {
             let Some(out) = slot else { continue };
             if now >= out.next_transition {
@@ -850,8 +902,8 @@ impl Router {
                 if out.acc >= 9000 {
                     out.cum_slots += 1;
                     let holding_off = out.fault.as_ref().is_some_and(|f| f.holding_off(now));
-                    let ready = !holding_off
-                        && matches!(out.staging.front(), Some(&(ready_at, _, _)) if ready_at <= now);
+                    let ready =
+                        !holding_off && matches!(out.staging.front(), Some(s) if s.ready_at <= now);
                     if ready {
                         // Every transmission attempt occupies the slot and
                         // counts as link activity, whether or not the flit
@@ -876,13 +928,34 @@ impl Router {
                                         link: LinkId { node: id, port },
                                     });
                                 }
-                                let (_, vc, flit) = out.staging.pop_front().expect("front checked");
+                                let staged = out.staging.pop_front().expect("front checked");
+                                let mut flit = staged.flit;
+                                // Attribute the egress interval [sa_at, now]:
+                                // stall-counter deltas give the lock and fault
+                                // shares (at most one increments per cycle, so
+                                // the residual is non-negative); the pipeline
+                                // claims its fixed depth from the rest and the
+                                // remainder is serialization at the current
+                                // link rate. The two wire/buffer-write cycles
+                                // ride with the pipeline component.
+                                let egress = (now - staged.sa_at) as u32;
+                                let d_lock = (out.cum_lock_stall - staged.lock_stall0) as u32;
+                                let d_fault = (out.cum_fault_stall - staged.fault_stall0) as u32;
+                                let residual = egress - d_lock - d_fault;
+                                let pipe = residual.min(pipeline_extra as u32);
+                                flit.delay.pipeline += pipe + 2;
+                                flit.delay.serialization += residual - pipe;
+                                flit.delay.lock += d_lock;
+                                flit.delay.retransmission += d_fault;
+                                // The crossing's wire energy moves from the
+                                // idle to the active ledger bucket.
+                                out.channel.charge_flit_transmission(now);
                                 let (node, in_port) = out.downstream;
                                 flit_wires.push(FlitWire {
                                     arrival: now + 2, // one cycle wire + one cycle buffer write
                                     router: node,
                                     in_port,
-                                    vc,
+                                    vc: staged.out_vc,
                                     flit,
                                 });
                             }
@@ -891,6 +964,7 @@ impl Router {
                                 // the retransmission (staging) buffer after the
                                 // ACK round trip; the wasted crossing still
                                 // burned link energy.
+                                out.cum_fault_stall += 1;
                                 out.channel.charge_retransmission(now);
                                 if T::ENABLED {
                                     tracer.record(Event::FaultNack {
@@ -902,6 +976,7 @@ impl Router {
                             TransmitOutcome::FailStop => {
                                 // Retry budget exhausted: the link is dead and
                                 // `link_up` stays false from the next cycle on.
+                                out.cum_fault_stall += 1;
                                 if T::ENABLED {
                                     tracer.record(Event::FaultFailStop {
                                         t: now,
@@ -912,7 +987,26 @@ impl Router {
                         }
                     } else {
                         out.acc = 9000; // idle slots do not bank extra bandwidth
+                        if holding_off && !out.staging.is_empty() {
+                            // Post-NACK recovery hold: the slot was usable but
+                            // the fault protocol kept a waiting flit quiet.
+                            out.cum_fault_stall += 1;
+                        }
                     }
+                }
+            } else if !out.staging.is_empty() {
+                // A flit is waiting behind a link that cannot transmit. The
+                // counters record only *realized* stalls (a disabled idle
+                // link costs no latency); any staged flit's egress interval
+                // has a non-empty staging queue throughout, so staged-flit
+                // deltas still partition the interval exactly.
+                if !out.channel.is_operational() {
+                    // Frequency lock: the link is disabled while the
+                    // receiver re-acquires the clock.
+                    out.cum_lock_stall += 1;
+                } else {
+                    // Outage or fail-stop: the link is down.
+                    out.cum_fault_stall += 1;
                 }
             }
             let occupied = out.buf_capacity_total - out.credits.iter().sum::<u32>();
@@ -949,6 +1043,9 @@ impl Router {
             buf_capacity: out.buf_capacity_total,
             freq_x9: out.channel.freq_x9(),
             energy_j: out.channel.energy_total_at(now),
+            ledger: out.channel.ledger_at(now),
+            cum_lock_stall: out.cum_lock_stall,
+            cum_fault_stall: out.cum_fault_stall,
             fault: out.fault.as_ref().map(ChannelFaultModel::stats),
         })
     }

@@ -2,6 +2,7 @@
 //! figure harness: per-channel levels, utilizations, and buffer occupancy
 //! collected in one pass.
 
+use dvslink::EnergyLedger;
 use faults::FaultStats;
 use obs::Tracer;
 
@@ -23,6 +24,16 @@ pub struct ChannelState {
     /// Downstream buffer occupancy fraction in `[0, 1]` (credit-based
     /// estimate, includes flits in flight).
     pub occupancy: f64,
+    /// Channel energy consumed since construction, in joules.
+    pub energy_j: f64,
+    /// The same energy split by cause; `ledger.total_j()` is bit-identical
+    /// to `energy_j`.
+    pub ledger: EnergyLedger,
+    /// Cumulative cycles the link was disabled by DVS frequency locks.
+    pub lock_stall_cycles: u64,
+    /// Cumulative cycles lost to faults (outages, NACKs, recovery
+    /// hold-off).
+    pub fault_stall_cycles: u64,
     /// Fault/retry/residual-error counters (`None` when faults are
     /// disabled).
     pub fault: Option<FaultStats>,
@@ -69,6 +80,10 @@ impl NetworkSnapshot {
                         } else {
                             1.0 - f64::from(s.credits) / f64::from(s.buf_capacity)
                         },
+                        energy_j: s.energy_j,
+                        ledger: s.ledger,
+                        lock_stall_cycles: s.cum_lock_stall,
+                        fault_stall_cycles: s.cum_fault_stall,
                         fault: s.fault,
                     });
                 }
@@ -120,6 +135,23 @@ impl NetworkSnapshot {
     /// Total instantaneous link power, watts.
     pub fn total_power_w(&self) -> f64 {
         self.channels.iter().map(|c| c.power_w).sum()
+    }
+
+    /// Total channel energy consumed since construction, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.channels.iter().map(|c| c.energy_j).sum()
+    }
+
+    /// Network-wide energy ledger: per-cause sums over every channel.
+    pub fn energy_ledger_totals(&self) -> EnergyLedger {
+        let mut total = EnergyLedger::default();
+        for c in &self.channels {
+            total.active_j += c.ledger.active_j;
+            total.idle_j += c.ledger.idle_j;
+            total.transition_j += c.ledger.transition_j;
+            total.retransmission_j += c.ledger.retransmission_j;
+        }
+        total
     }
 
     /// Channels currently unable to transmit (mid frequency-lock).
@@ -196,6 +228,32 @@ mod tests {
         );
         // The hottest channels lie on row 0 (X+ ports of routers 0..3).
         assert!(top[0].node < 4, "hot channel at node {}", top[0].node);
+    }
+
+    #[test]
+    fn per_channel_ledger_splits_energy_bit_exactly() {
+        let mut net = net_4x4();
+        for _ in 0..50 {
+            net.inject(0, 15);
+        }
+        net.run(500);
+        let snap = NetworkSnapshot::capture(&net);
+        for c in snap.channels() {
+            assert_eq!(
+                c.ledger.total_j().to_bits(),
+                c.energy_j.to_bits(),
+                "channel ({}, {}) ledger must split its energy exactly",
+                c.node,
+                c.port
+            );
+        }
+        assert!(snap.total_energy_j() > 0.0);
+        let totals = snap.energy_ledger_totals();
+        assert!(
+            totals.active_j > 0.0,
+            "traffic must charge the active bucket"
+        );
+        assert!(totals.idle_j > 0.0);
     }
 
     #[test]

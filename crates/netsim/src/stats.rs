@@ -1,3 +1,5 @@
+use obs::{BreakdownTotals, LatencyBreakdown};
+
 use crate::Cycles;
 
 /// Running latency aggregate (cycles from packet creation to tail ejection),
@@ -69,6 +71,11 @@ impl LatencyStats {
         self.count
     }
 
+    /// Exact sum of all recorded latencies, in cycles.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean latency in cycles, or `None` if nothing was recorded.
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
@@ -93,6 +100,7 @@ pub struct NetStats {
     packets_delivered: u64,
     flits_delivered: u64,
     latency: LatencyStats,
+    breakdown: BreakdownTotals,
     measurement_start: Cycles,
 }
 
@@ -113,9 +121,10 @@ impl NetStats {
         self.flits_delivered += 1;
     }
 
-    pub(crate) fn on_packet_delivered(&mut self, latency: Cycles) {
+    pub(crate) fn on_packet_delivered(&mut self, latency: Cycles, breakdown: &LatencyBreakdown) {
         self.packets_delivered += 1;
         self.latency.record(latency);
+        self.breakdown.record(breakdown);
     }
 
     pub(crate) fn reset(&mut self, now: Cycles) {
@@ -146,6 +155,12 @@ impl NetStats {
     /// Latency aggregate over delivered packets.
     pub fn latency(&self) -> &LatencyStats {
         &self.latency
+    }
+
+    /// Summed latency attribution over delivered packets;
+    /// `latency_breakdown().total()` equals `latency().sum()` exactly.
+    pub fn latency_breakdown(&self) -> &BreakdownTotals {
+        &self.breakdown
     }
 
     /// Cycle at which the current measurement interval began.
@@ -226,8 +241,22 @@ mod tests {
         for _ in 0..5 {
             s.on_flit_delivered();
         }
-        s.on_packet_delivered(100);
+        let b = LatencyBreakdown {
+            source_queue: 10,
+            buffer: 20,
+            pipeline: 50,
+            serialization: 15,
+            lock: 5,
+            retransmission: 0,
+        };
+        s.on_packet_delivered(100, &b);
         assert_eq!(s.packets_injected(), 2);
+        assert_eq!(s.latency_breakdown().packets, 1);
+        assert_eq!(
+            s.latency_breakdown().total(),
+            s.latency().sum() as u64,
+            "breakdown totals track the latency sum"
+        );
         assert_eq!(s.flits_injected(), 10);
         assert_eq!(s.packets_delivered(), 1);
         assert_eq!(s.flits_delivered(), 5);
@@ -243,7 +272,7 @@ mod tests {
         s.reset(500);
         assert_eq!(s.packets_injected(), 0);
         assert_eq!(s.measurement_start(), 500);
-        s.on_packet_delivered(42);
+        s.on_packet_delivered(42, &LatencyBreakdown::default());
         assert!((s.throughput_packets_per_cycle(1000) - 1.0 / 500.0).abs() < 1e-12);
     }
 }

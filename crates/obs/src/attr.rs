@@ -1,0 +1,169 @@
+//! Per-packet latency attribution: the decomposition of one delivered
+//! packet's end-to-end latency into additive, mutually exclusive
+//! components, plus an aggregator for whole-run totals.
+//!
+//! The invariant the simulator maintains (and the property tests enforce)
+//! is *exact* accounting: the six components of a [`LatencyBreakdown`]
+//! always sum to the packet's measured creation-to-tail-ejection latency,
+//! cycle for cycle. The components are integers and the accounting is done
+//! with the same cycle arithmetic as the latency measurement itself, so
+//! the identity is bit-exact, not approximate.
+
+/// Where one delivered packet's end-to-end latency went, in cycles.
+///
+/// Each cycle between the packet's creation and its tail flit's ejection
+/// is attributed to exactly one component, so
+/// `total() == ejected_at - created_at` always holds. Components follow
+/// the tail flit (the flit whose ejection defines packet latency).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Cycles spent in the source queue before injection into the local
+    /// input buffer (the paper's "source queuing" delay).
+    pub source_queue: u32,
+    /// Cycles spent buffered in input VCs waiting for VC allocation,
+    /// credits, or switch arbitration.
+    pub buffer: u32,
+    /// Cycles spent traversing router pipelines and wires once switch
+    /// allocation was won (the fixed per-hop cost).
+    pub pipeline: u32,
+    /// Extra cycles waiting for a transmission slot because the link runs
+    /// below full frequency (serialization at the scaled-down rate).
+    pub serialization: u32,
+    /// Cycles stalled behind a link disabled for a DVS frequency re-lock.
+    pub lock: u32,
+    /// Cycles lost to corrupted transmissions: NACK round trips, backoff,
+    /// and outage/fail-stop holds.
+    pub retransmission: u32,
+}
+
+impl LatencyBreakdown {
+    /// Sum of all components — equals the packet's measured end-to-end
+    /// latency in cycles.
+    pub fn total(&self) -> u64 {
+        self.source_queue as u64
+            + self.buffer as u64
+            + self.pipeline as u64
+            + self.serialization as u64
+            + self.lock as u64
+            + self.retransmission as u64
+    }
+}
+
+/// Running sums of [`LatencyBreakdown`] components over many packets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakdownTotals {
+    /// Delivered packets recorded.
+    pub packets: u64,
+    /// Summed source-queue cycles.
+    pub source_queue: u64,
+    /// Summed buffered/VC-allocation cycles.
+    pub buffer: u64,
+    /// Summed pipeline-traversal cycles.
+    pub pipeline: u64,
+    /// Summed scaled-frequency serialization cycles.
+    pub serialization: u64,
+    /// Summed DVS lock-stall cycles.
+    pub lock: u64,
+    /// Summed retransmission/outage cycles.
+    pub retransmission: u64,
+}
+
+impl BreakdownTotals {
+    /// Fold one delivered packet's breakdown into the totals.
+    pub fn record(&mut self, b: &LatencyBreakdown) {
+        self.packets += 1;
+        self.source_queue += b.source_queue as u64;
+        self.buffer += b.buffer as u64;
+        self.pipeline += b.pipeline as u64;
+        self.serialization += b.serialization as u64;
+        self.lock += b.lock as u64;
+        self.retransmission += b.retransmission as u64;
+    }
+
+    /// Sum of all component totals — equals the sum of measured latencies.
+    pub fn total(&self) -> u64 {
+        self.source_queue
+            + self.buffer
+            + self.pipeline
+            + self.serialization
+            + self.lock
+            + self.retransmission
+    }
+
+    /// Per-packet means in component order: source queue, buffer,
+    /// pipeline, serialization, lock, retransmission. All zero when no
+    /// packets were recorded.
+    pub fn means(&self) -> [f64; 6] {
+        if self.packets == 0 {
+            return [0.0; 6];
+        }
+        let n = self.packets as f64;
+        [
+            self.source_queue as f64 / n,
+            self.buffer as f64 / n,
+            self.pipeline as f64 / n,
+            self.serialization as f64 / n,
+            self.lock as f64 / n,
+            self.retransmission as f64 / n,
+        ]
+    }
+
+    /// Stable component names, aligned with [`means`](Self::means).
+    pub const COMPONENTS: [&'static str; 6] = [
+        "source_queue",
+        "buffer",
+        "pipeline",
+        "serialization",
+        "lock",
+        "retransmission",
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = LatencyBreakdown {
+            source_queue: 3,
+            buffer: 11,
+            pipeline: 44,
+            serialization: 5,
+            lock: 2,
+            retransmission: 7,
+        };
+        assert_eq!(b.total(), 3 + 11 + 44 + 5 + 2 + 7);
+        assert_eq!(LatencyBreakdown::default().total(), 0);
+    }
+
+    #[test]
+    fn totals_accumulate_and_average() {
+        let mut t = BreakdownTotals::default();
+        let a = LatencyBreakdown {
+            source_queue: 1,
+            buffer: 2,
+            pipeline: 40,
+            serialization: 0,
+            lock: 0,
+            retransmission: 0,
+        };
+        let b = LatencyBreakdown {
+            source_queue: 3,
+            buffer: 0,
+            pipeline: 44,
+            serialization: 8,
+            lock: 10,
+            retransmission: 6,
+        };
+        t.record(&a);
+        t.record(&b);
+        assert_eq!(t.packets, 2);
+        assert_eq!(t.total(), a.total() + b.total());
+        let m = t.means();
+        assert_eq!(m[0], 2.0);
+        assert_eq!(m[2], 42.0);
+        assert_eq!(m[4], 5.0);
+        assert_eq!(BreakdownTotals::default().means(), [0.0; 6]);
+    }
+}

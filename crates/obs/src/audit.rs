@@ -1,0 +1,439 @@
+//! DVS audit reports: join the per-link energy ledger with the policy's
+//! observable decision stream (threshold crossings, transition requests,
+//! frequency locks) and the router's stall attribution, to answer *which
+//! threshold crossings cost how much latency and saved how much power*.
+//!
+//! A [`DvsAudit`] is built in three steps: register every link with its
+//! measured-interval [`EnergyLedger`] and stall-cycle counters, fold the
+//! captured [`Event`] stream over it with
+//! [`apply_events`](DvsAudit::apply_events), then emit JSONL
+//! ([`to_jsonl`](DvsAudit::to_jsonl)), CSV ([`to_csv`](DvsAudit::to_csv)),
+//! or a human-readable summary ([`summary`](DvsAudit::summary)).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use dvslink::EnergyLedger;
+
+use crate::event::{Event, LinkId};
+use crate::Cycles;
+
+/// Header line of [`DvsAudit::to_csv`].
+pub const AUDIT_CSV_HEADER: &str = "node,port,crossings_up,crossings_down,requests_up,\
+     requests_down,lock_windows,lock_window_cycles,lock_stall_cycles,fault_stall_cycles,\
+     active_j,idle_j,transition_j,retransmission_j,total_j,full_speed_j,savings_factor";
+
+/// One channel's row in a [`DvsAudit`]: the policy decisions it made, the
+/// latency those decisions cost (flit-cycles stalled behind the disabled
+/// link), and the energy they saved (ledger total vs. the full-speed
+/// baseline over the same interval).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkAudit {
+    /// The channel.
+    pub link: LinkId,
+    /// Threshold crossings above the high threshold (speed-up pressure).
+    pub crossings_up: u64,
+    /// Threshold crossings below the low threshold (slow-down opportunity).
+    pub crossings_down: u64,
+    /// Step-up transitions the policy initiated.
+    pub requests_up: u64,
+    /// Step-down transitions the policy initiated.
+    pub requests_down: u64,
+    /// Frequency-lock windows entered (each disables the links).
+    pub lock_windows: u64,
+    /// Total cycles the links spent disabled in frequency locks.
+    pub lock_window_cycles: Cycles,
+    /// Flit-cycles actually stalled behind a lock-disabled link (a lock on
+    /// an idle link costs nothing; this counts the realized latency cost).
+    pub lock_stall_cycles: Cycles,
+    /// Flit-cycles stalled behind fault outages, NACK backoff, or a dead
+    /// link.
+    pub fault_stall_cycles: Cycles,
+    /// Energy spent over the measured interval, split by cause.
+    pub ledger: EnergyLedger,
+    /// Energy the channel would have burned at full speed over the same
+    /// interval (the no-DVS baseline).
+    pub full_speed_j: f64,
+}
+
+impl LinkAudit {
+    /// A zeroed row for `link`.
+    pub fn new(link: LinkId) -> LinkAudit {
+        LinkAudit {
+            link,
+            crossings_up: 0,
+            crossings_down: 0,
+            requests_up: 0,
+            requests_down: 0,
+            lock_windows: 0,
+            lock_window_cycles: 0,
+            lock_stall_cycles: 0,
+            fault_stall_cycles: 0,
+            ledger: EnergyLedger::default(),
+            full_speed_j: 0.0,
+        }
+    }
+
+    /// Power-savings factor vs. the full-speed baseline (>1 means DVS
+    /// saved energy). Zero when no energy was spent.
+    pub fn savings_factor(&self) -> f64 {
+        let spent = self.ledger.total_j();
+        if spent > 0.0 {
+            self.full_speed_j / spent
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A network-wide DVS audit: one [`LinkAudit`] row per channel, joined from
+/// the energy ledgers, the router stall attribution, and the traced policy
+/// decision stream.
+#[derive(Debug, Clone, Default)]
+pub struct DvsAudit {
+    links: BTreeMap<(usize, usize), LinkAudit>,
+}
+
+impl DvsAudit {
+    /// An audit with no links registered yet.
+    pub fn new() -> DvsAudit {
+        DvsAudit::default()
+    }
+
+    /// The row for `link`, created zeroed on first access.
+    pub fn link_mut(&mut self, link: LinkId) -> &mut LinkAudit {
+        self.links
+            .entry((link.node, link.port))
+            .or_insert_with(|| LinkAudit::new(link))
+    }
+
+    /// All rows, ordered by (node, port).
+    pub fn links(&self) -> impl Iterator<Item = &LinkAudit> {
+        self.links.values()
+    }
+
+    /// Number of registered links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether no links are registered.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Fold a captured event stream into the per-link decision counters.
+    /// Only DVS decision events matter; everything else is ignored, so the
+    /// stream may carry any mask.
+    pub fn apply_events<'a>(&mut self, events: impl IntoIterator<Item = &'a Event>) {
+        for e in events {
+            match *e {
+                Event::ThresholdCrossing { link, up, .. } => {
+                    let row = self.link_mut(link);
+                    if up {
+                        row.crossings_up += 1;
+                    } else {
+                        row.crossings_down += 1;
+                    }
+                }
+                Event::DvsRequest { link, from, to, .. } => {
+                    let row = self.link_mut(link);
+                    if to > from {
+                        row.requests_up += 1;
+                    } else {
+                        row.requests_down += 1;
+                    }
+                }
+                Event::DvsLock { link, t, until, .. } => {
+                    let row = self.link_mut(link);
+                    row.lock_windows += 1;
+                    row.lock_window_cycles += until.saturating_sub(t);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Aggregate totals across every link, as a single [`LinkAudit`] row
+    /// (its `link` field is `n0.p0` and meaningless).
+    pub fn totals(&self) -> LinkAudit {
+        let mut t = LinkAudit::new(LinkId { node: 0, port: 0 });
+        for row in self.links.values() {
+            t.crossings_up += row.crossings_up;
+            t.crossings_down += row.crossings_down;
+            t.requests_up += row.requests_up;
+            t.requests_down += row.requests_down;
+            t.lock_windows += row.lock_windows;
+            t.lock_window_cycles += row.lock_window_cycles;
+            t.lock_stall_cycles += row.lock_stall_cycles;
+            t.fault_stall_cycles += row.fault_stall_cycles;
+            t.ledger.active_j += row.ledger.active_j;
+            t.ledger.idle_j += row.ledger.idle_j;
+            t.ledger.transition_j += row.ledger.transition_j;
+            t.ledger.retransmission_j += row.ledger.retransmission_j;
+            t.full_speed_j += row.full_speed_j;
+        }
+        t
+    }
+
+    /// One JSON object per link, one line each.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in self.links.values() {
+            let _ = writeln!(
+                out,
+                "{{\"node\":{},\"port\":{},\"crossings_up\":{},\"crossings_down\":{},\
+                 \"requests_up\":{},\"requests_down\":{},\"lock_windows\":{},\
+                 \"lock_window_cycles\":{},\"lock_stall_cycles\":{},\
+                 \"fault_stall_cycles\":{},\"active_j\":{:e},\"idle_j\":{:e},\
+                 \"transition_j\":{:e},\"retransmission_j\":{:e},\"total_j\":{:e},\
+                 \"full_speed_j\":{:e},\"savings_factor\":{}}}",
+                row.link.node,
+                row.link.port,
+                row.crossings_up,
+                row.crossings_down,
+                row.requests_up,
+                row.requests_down,
+                row.lock_windows,
+                row.lock_window_cycles,
+                row.lock_stall_cycles,
+                row.fault_stall_cycles,
+                row.ledger.active_j,
+                row.ledger.idle_j,
+                row.ledger.transition_j,
+                row.ledger.retransmission_j,
+                row.ledger.total_j(),
+                row.full_speed_j,
+                fmt_f64(row.savings_factor()),
+            );
+        }
+        out
+    }
+
+    /// CSV with [`AUDIT_CSV_HEADER`], one row per link.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(AUDIT_CSV_HEADER);
+        out.push('\n');
+        for row in self.links.values() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{:e},{:e},{:e},{:e},{:e},{:e},{}",
+                row.link.node,
+                row.link.port,
+                row.crossings_up,
+                row.crossings_down,
+                row.requests_up,
+                row.requests_down,
+                row.lock_windows,
+                row.lock_window_cycles,
+                row.lock_stall_cycles,
+                row.fault_stall_cycles,
+                row.ledger.active_j,
+                row.ledger.idle_j,
+                row.ledger.transition_j,
+                row.ledger.retransmission_j,
+                row.ledger.total_j(),
+                row.full_speed_j,
+                fmt_f64(row.savings_factor()),
+            );
+        }
+        out
+    }
+
+    /// Human-readable summary: network totals, the energy split, and the
+    /// links whose DVS decisions cost the most realized latency.
+    pub fn summary(&self) -> String {
+        let t = self.totals();
+        let total = t.ledger.total_j();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} links audited: {} crossings ({} up / {} down), \
+             {} transitions requested ({} up / {} down)",
+            self.links.len(),
+            t.crossings_up + t.crossings_down,
+            t.crossings_up,
+            t.crossings_down,
+            t.requests_up + t.requests_down,
+            t.requests_up,
+            t.requests_down,
+        );
+        let _ = writeln!(
+            out,
+            "latency cost: {} lock windows disabled links for {} cycles, \
+             stalling flits for {} cycles (+{} cycles of fault stalls)",
+            t.lock_windows, t.lock_window_cycles, t.lock_stall_cycles, t.fault_stall_cycles,
+        );
+        let pct = |x: f64| if total > 0.0 { 100.0 * x / total } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "energy: {:.3} µJ total = {:.3} µJ active ({:.1}%) + {:.3} µJ idle ({:.1}%) \
+             + {:.3} µJ transition ({:.1}%) + {:.3} µJ retransmission ({:.1}%)",
+            total * 1e6,
+            t.ledger.active_j * 1e6,
+            pct(t.ledger.active_j),
+            t.ledger.idle_j * 1e6,
+            pct(t.ledger.idle_j),
+            t.ledger.transition_j * 1e6,
+            pct(t.ledger.transition_j),
+            t.ledger.retransmission_j * 1e6,
+            pct(t.ledger.retransmission_j),
+        );
+        let _ = writeln!(
+            out,
+            "power savings vs full speed: {:.2}x ({:.3} µJ would have been {:.3} µJ)",
+            if total > 0.0 {
+                t.full_speed_j / total
+            } else {
+                0.0
+            },
+            total * 1e6,
+            t.full_speed_j * 1e6,
+        );
+        let mut worst: Vec<&LinkAudit> = self.links.values().collect();
+        worst.sort_by_key(|r| std::cmp::Reverse(r.lock_stall_cycles));
+        for row in worst.iter().take(3).filter(|r| r.lock_stall_cycles > 0) {
+            let _ = writeln!(
+                out,
+                "  costliest: {} stalled {} flit-cycles across {} locks for a {:.2}x saving",
+                row.link,
+                row.lock_stall_cycles,
+                row.lock_windows,
+                row.savings_factor(),
+            );
+        }
+        out
+    }
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_audit() -> DvsAudit {
+        let mut audit = DvsAudit::new();
+        let a = LinkId { node: 1, port: 2 };
+        let b = LinkId { node: 3, port: 0 };
+        {
+            let row = audit.link_mut(a);
+            row.lock_stall_cycles = 120;
+            row.fault_stall_cycles = 4;
+            row.ledger = EnergyLedger {
+                active_j: 1e-6,
+                idle_j: 3e-6,
+                transition_j: 5e-7,
+                retransmission_j: 1e-9,
+            };
+            row.full_speed_j = 2e-5;
+        }
+        audit.link_mut(b).full_speed_j = 1e-5;
+        audit.apply_events(&[
+            Event::ThresholdCrossing {
+                t: 10,
+                link: a,
+                lu: 0.8,
+                low: 0.3,
+                high: 0.6,
+                up: true,
+            },
+            Event::ThresholdCrossing {
+                t: 20,
+                link: a,
+                lu: 0.1,
+                low: 0.3,
+                high: 0.6,
+                up: false,
+            },
+            Event::DvsRequest {
+                t: 20,
+                link: a,
+                from: 9,
+                to: 8,
+                lu: 0.1,
+                bu: 0.0,
+                congested: false,
+            },
+            Event::DvsLock {
+                t: 21,
+                link: a,
+                target: 8,
+                until: 132,
+            },
+            Event::DvsRequest {
+                t: 40,
+                link: b,
+                from: 5,
+                to: 6,
+                lu: 0.9,
+                bu: 0.4,
+                congested: true,
+            },
+            // Non-DVS events are ignored.
+            Event::FaultNack { t: 50, link: b },
+        ]);
+        audit
+    }
+
+    #[test]
+    fn events_fold_into_per_link_counters() {
+        let audit = sample_audit();
+        assert_eq!(audit.len(), 2);
+        let rows: Vec<&LinkAudit> = audit.links().collect();
+        let a = rows[0];
+        assert_eq!(a.link, LinkId { node: 1, port: 2 });
+        assert_eq!((a.crossings_up, a.crossings_down), (1, 1));
+        assert_eq!((a.requests_up, a.requests_down), (0, 1));
+        assert_eq!(a.lock_windows, 1);
+        assert_eq!(a.lock_window_cycles, 111);
+        let b = rows[1];
+        assert_eq!((b.requests_up, b.requests_down), (1, 0));
+        let t = audit.totals();
+        assert_eq!(t.requests_up + t.requests_down, 2);
+        assert_eq!(t.lock_stall_cycles, 120);
+        assert!((t.full_speed_j - 3e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn savings_factor_compares_against_full_speed() {
+        let audit = sample_audit();
+        let row = audit.links().next().unwrap();
+        let expect = 2e-5 / row.ledger.total_j();
+        assert!((row.savings_factor() - expect).abs() < 1e-9);
+        // No energy spent -> no defined saving.
+        assert_eq!(
+            LinkAudit::new(LinkId { node: 0, port: 0 }).savings_factor(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn exports_are_well_formed() {
+        let audit = sample_audit();
+        let csv = audit.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(AUDIT_CSV_HEADER));
+        let cols = AUDIT_CSV_HEADER.split(',').count();
+        for line in lines {
+            assert_eq!(line.split(',').count(), cols, "{line}");
+        }
+        let jsonl = audit.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+            assert!(line.contains("\"savings_factor\""));
+        }
+        let summary = audit.summary();
+        assert!(summary.contains("2 links audited"));
+        assert!(summary.contains("power savings"));
+        assert!(summary.contains("costliest: n1.p2"));
+    }
+}

@@ -1,6 +1,7 @@
 use std::fmt;
 use std::ops::{BitOr, BitOrAssign};
 
+use crate::attr::LatencyBreakdown;
 use crate::Cycles;
 
 /// Identifies one inter-router channel: the output `port` of router `node`.
@@ -187,6 +188,20 @@ pub enum Event {
         /// The affected channel.
         link: LinkId,
     },
+    /// A packet was delivered, with its latency decomposed into additive
+    /// components (see [`LatencyBreakdown`]); `breakdown.total() == latency`.
+    PacketAttribution {
+        /// Cycle the tail ejected.
+        t: Cycles,
+        /// Destination node.
+        node: usize,
+        /// Packet id.
+        packet: u64,
+        /// Creation-to-tail-ejection latency in cycles.
+        latency: Cycles,
+        /// Where those cycles went.
+        breakdown: LatencyBreakdown,
+    },
 }
 
 impl Event {
@@ -208,7 +223,8 @@ impl Event {
             | FaultNack { t, .. }
             | FaultResidual { t, .. }
             | FaultFailStop { t, .. }
-            | OutageStart { t, .. } => t,
+            | OutageStart { t, .. }
+            | PacketAttribution { t, .. } => t,
         }
     }
 
@@ -227,9 +243,11 @@ impl Event {
             | FaultResidual { link, .. }
             | FaultFailStop { link, .. }
             | OutageStart { link, .. } => Some(link),
-            PacketInject { .. } | FlitInject { .. } | FlitEject { .. } | PacketDelivered { .. } => {
-                None
-            }
+            PacketInject { .. }
+            | FlitInject { .. }
+            | FlitEject { .. }
+            | PacketDelivered { .. }
+            | PacketAttribution { .. } => None,
         }
     }
 
@@ -252,6 +270,7 @@ impl Event {
             FaultResidual { .. } => EventKind::FaultResidual,
             FaultFailStop { .. } => EventKind::FaultFailStop,
             OutageStart { .. } => EventKind::OutageStart,
+            PacketAttribution { .. } => EventKind::PacketAttribution,
         }
     }
 }
@@ -276,11 +295,12 @@ pub enum EventKind {
     FaultResidual = 12,
     FaultFailStop = 13,
     OutageStart = 14,
+    PacketAttribution = 15,
 }
 
 impl EventKind {
     /// Number of kinds (array-sizing constant).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 16;
 
     /// All kinds, in discriminant order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -299,6 +319,7 @@ impl EventKind {
         EventKind::FaultResidual,
         EventKind::FaultFailStop,
         EventKind::OutageStart,
+        EventKind::PacketAttribution,
     ];
 
     /// Stable snake_case name (used by the JSONL exporter and summaries).
@@ -319,7 +340,13 @@ impl EventKind {
             EventKind::FaultResidual => "fault_residual",
             EventKind::FaultFailStop => "fault_fail_stop",
             EventKind::OutageStart => "outage_start",
+            EventKind::PacketAttribution => "packet_attribution",
         }
+    }
+
+    /// Parse the stable snake_case name produced by [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
     const fn bit(self) -> u32 {
@@ -337,12 +364,14 @@ impl EventMask {
     pub const NONE: EventMask = EventMask(0);
     /// Retain every event kind.
     pub const ALL: EventMask = EventMask((1 << EventKind::COUNT as u32) - 1);
-    /// Packet/flit movement: injections, ejections, deliveries.
+    /// Packet/flit movement: injections, ejections, deliveries, and
+    /// per-packet latency attributions.
     pub const TRAFFIC: EventMask = EventMask(
         EventKind::PacketInject.bit()
             | EventKind::FlitInject.bit()
             | EventKind::FlitEject.bit()
-            | EventKind::PacketDelivered.bit(),
+            | EventKind::PacketDelivered.bit()
+            | EventKind::PacketAttribution.bit(),
     );
     /// Per-cycle VC-allocation stalls (the chattiest kind).
     pub const STALLS: EventMask = EventMask(EventKind::VcAllocStall.bit());
@@ -366,6 +395,39 @@ impl EventMask {
     /// Whether `kind` is in the set.
     pub fn contains(self, kind: EventKind) -> bool {
         self.0 & kind.bit() != 0
+    }
+
+    /// Build a mask from a comma-separated list of kind names and/or group
+    /// aliases (`all`, `traffic`, `stalls`, `dvs`, `faults`). Empty items
+    /// are ignored; an unknown name yields an error listing every valid
+    /// spelling.
+    pub fn from_names(names: &str) -> Result<EventMask, String> {
+        let mut mask = EventMask::NONE;
+        for item in names.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            mask |= match item {
+                "all" => EventMask::ALL,
+                "traffic" => EventMask::TRAFFIC,
+                "stalls" => EventMask::STALLS,
+                "dvs" => EventMask::DVS,
+                "faults" => EventMask::FAULTS,
+                name => match EventKind::from_name(name) {
+                    Some(kind) => EventMask(kind.bit()),
+                    None => {
+                        let valid: Vec<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();
+                        return Err(format!(
+                            "unknown event kind '{name}'; valid kinds: {}; groups: all, \
+                             traffic, stalls, dvs, faults",
+                            valid.join(", ")
+                        ));
+                    }
+                },
+            };
+        }
+        Ok(mask)
     }
 }
 
@@ -436,6 +498,60 @@ mod tests {
                 1,
                 "{k:?} must belong to exactly one group"
             );
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(EventKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn masks_parse_from_names() {
+        assert_eq!(
+            EventMask::from_names("dvs,faults"),
+            Ok(EventMask::DVS | EventMask::FAULTS)
+        );
+        assert_eq!(EventMask::from_names("all"), Ok(EventMask::ALL));
+        assert_eq!(
+            EventMask::from_names(" packet_delivered , vc_alloc_stall "),
+            Ok(EventMask::STALLS | EventMask(EventKind::PacketDelivered.bit()))
+        );
+        assert_eq!(EventMask::from_names(""), Ok(EventMask::NONE));
+        let err = EventMask::from_names("dvs,nope").unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+        assert!(err.contains("packet_attribution"), "{err}");
+        assert!(err.contains("groups"), "{err}");
+    }
+
+    #[test]
+    fn attribution_event_accessors() {
+        let e = Event::PacketAttribution {
+            t: 77,
+            node: 4,
+            packet: 12,
+            latency: 51,
+            breakdown: LatencyBreakdown {
+                source_queue: 0,
+                buffer: 2,
+                pipeline: 44,
+                serialization: 5,
+                lock: 0,
+                retransmission: 0,
+            },
+        };
+        assert_eq!(e.time(), 77);
+        assert_eq!(e.link(), None);
+        assert_eq!(e.kind(), EventKind::PacketAttribution);
+        assert!(EventMask::TRAFFIC.contains(EventKind::PacketAttribution));
+        if let Event::PacketAttribution {
+            latency, breakdown, ..
+        } = e
+        {
+            assert_eq!(breakdown.total(), latency);
         }
     }
 

@@ -95,6 +95,26 @@ pub fn event_json(event: &Event) -> String {
         Event::TransitionEnergy { energy_j, .. } => {
             let _ = write!(out, ",\"energy_j\":{}", num(energy_j));
         }
+        Event::PacketAttribution {
+            node,
+            packet,
+            latency,
+            breakdown,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"node\":{node},\"packet\":{packet},\"latency\":{latency},\
+                 \"source_queue\":{},\"buffer\":{},\"pipeline\":{},\
+                 \"serialization\":{},\"lock\":{},\"retransmission\":{}",
+                breakdown.source_queue,
+                breakdown.buffer,
+                breakdown.pipeline,
+                breakdown.serialization,
+                breakdown.lock,
+                breakdown.retransmission,
+            );
+        }
         Event::FaultNack { .. }
         | Event::FaultResidual { .. }
         | Event::FaultFailStop { .. }
@@ -230,7 +250,22 @@ mod tests {
             Event::FaultResidual { t: 0, link },
             Event::FaultFailStop { t: 0, link },
             Event::OutageStart { t: 0, link },
+            Event::PacketAttribution {
+                t: 0,
+                node: 2,
+                packet: 3,
+                latency: 10,
+                breakdown: crate::attr::LatencyBreakdown {
+                    source_queue: 0,
+                    buffer: 1,
+                    pipeline: 9,
+                    serialization: 0,
+                    lock: 0,
+                    retransmission: 0,
+                },
+            },
         ];
+        assert_eq!(all.len(), crate::EventKind::COUNT);
         for e in &all {
             let json = event_json(e);
             assert!(json.starts_with('{') && json.ends_with('}'), "{json}");

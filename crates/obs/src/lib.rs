@@ -17,6 +17,11 @@
 //! - [`Timeline`]: fixed-stride per-link sample tracks (filled by
 //!   `netsim::TimelineCollector`, which generalizes `ChannelProbe` from one
 //!   channel to the whole network) in bounded ring buffers.
+//! - Attribution: [`LatencyBreakdown`] decomposes one delivered packet's
+//!   latency into additive components that sum bit-exactly to the measured
+//!   value, [`BreakdownTotals`] aggregates them across a run, and
+//!   [`DvsAudit`] joins the per-link [`EnergyLedger`] with the traced
+//!   policy decision stream into JSONL/CSV audit reports.
 //! - Exporters: Chrome `trace_event` JSON loadable in Perfetto or
 //!   `chrome://tracing` ([`perfetto_trace`]), CSV timelines matching the
 //!   figure-artifact conventions ([`timeline_csv`], [`track_csv`]), and
@@ -29,6 +34,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attr;
+mod audit;
 mod csv;
 mod event;
 mod jsonl;
@@ -36,8 +43,10 @@ mod perfetto;
 mod timeline;
 mod tracer;
 
+pub use attr::{BreakdownTotals, LatencyBreakdown};
+pub use audit::{DvsAudit, LinkAudit, AUDIT_CSV_HEADER};
 pub use csv::{timeline_csv, track_csv, TIMELINE_CSV_HEADER, TRACK_CSV_HEADER};
-pub use dvslink::Cycles;
+pub use dvslink::{Cycles, EnergyLedger};
 pub use event::{Event, EventKind, EventMask, LinkId};
 pub use jsonl::{event_json, events_jsonl};
 pub use perfetto::perfetto_trace;

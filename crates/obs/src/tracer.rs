@@ -45,6 +45,7 @@ pub struct EventLog {
     capacity: usize,
     events: VecDeque<Event>,
     dropped: u64,
+    dropped_by_kind: [u64; EventKind::COUNT],
     counts: [u64; EventKind::COUNT],
 }
 
@@ -57,6 +58,7 @@ impl EventLog {
             capacity: usize::MAX,
             events: VecDeque::new(),
             dropped: 0,
+            dropped_by_kind: [0; EventKind::COUNT],
             counts: [0; EventKind::COUNT],
         }
     }
@@ -96,6 +98,11 @@ impl EventLog {
         self.dropped
     }
 
+    /// How many stored events of `kind` were evicted by the capacity bound.
+    pub fn dropped_count(&self, kind: EventKind) -> u64 {
+        self.dropped_by_kind[kind as usize]
+    }
+
     /// Total events of `kind` recorded, independent of mask and eviction.
     pub fn count(&self, kind: EventKind) -> u64 {
         self.counts[kind as usize]
@@ -115,7 +122,9 @@ impl Tracer for EventLog {
             return;
         }
         if self.events.len() >= self.capacity {
-            self.events.pop_front();
+            if let Some(evicted) = self.events.pop_front() {
+                self.dropped_by_kind[evicted.kind() as usize] += 1;
+            }
             self.dropped += 1;
         }
         if self.capacity > 0 {
@@ -146,6 +155,8 @@ mod tests {
         }
         assert_eq!(log.len(), 3);
         assert_eq!(log.dropped(), 2);
+        assert_eq!(log.dropped_count(EventKind::VcAllocStall), 2);
+        assert_eq!(log.dropped_count(EventKind::DvsComplete), 0);
         let times: Vec<u64> = log.events().map(|e| e.time()).collect();
         assert_eq!(times, vec![2, 3, 4]);
         assert_eq!(log.count(EventKind::VcAllocStall), 5);

@@ -252,6 +252,128 @@ proptest! {
     }
 }
 
+/// One of the five evaluated policy configurations, by index.
+fn attribution_policy(kind: usize) -> Box<dyn netsim::LinkPolicy> {
+    match kind {
+        0 => Box::new(netsim::StaticLevelPolicy::default()),
+        1 => Box::new(dvspolicy::HistoryDvsPolicy::new(
+            dvspolicy::HistoryDvsConfig::paper(),
+        )),
+        2 => Box::new(dvspolicy::ReactiveDvsPolicy::paper()),
+        3 => Box::new(dvspolicy::DynamicThresholdPolicy::paper()),
+        _ => Box::new(dvspolicy::TargetUtilizationPolicy::paper_comparable()),
+    }
+}
+
+/// A BER scale making the paper noise model's top-level bit-error
+/// probability per flit crossing equal `p_bit` (the paper-level BER is far
+/// too small to exercise in a short run).
+fn ber_scale_for(p_bit: f64) -> f64 {
+    let table = VfTable::paper();
+    let ber = dvslink::NoiseModel::paper().ber(table.get(table.top()).unwrap());
+    p_bit / ber
+}
+
+/// A 4x4-mesh config under policy `kind`, with detectable fault rates when
+/// `faults` is set.
+fn attribution_cfg(seed: u64, faults: bool) -> netsim::NetworkConfig {
+    let mut cfg = netsim::NetworkConfig::paper_8x8();
+    cfg.topology = Topology::mesh(4, 2).unwrap();
+    cfg.timing = TransitionTiming::paper_aggressive();
+    if faults {
+        cfg.faults = Some(netsim::FaultConfig::new(seed).with_ber_scale(ber_scale_for(1.5e-3)));
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The per-packet latency decomposition balances exactly: for every
+    /// delivered packet, under every policy, with or without fault
+    /// injection, the traced breakdown components sum to the measured
+    /// latency, and the aggregate breakdown sums to the latency total.
+    #[test]
+    fn latency_components_sum_to_latency(
+        kind in 0usize..5,
+        seed: u64,
+        faults: bool,
+        pairs in prop::collection::vec((0usize..16, 0usize..16), 20..120),
+    ) {
+        let mask = netsim::EventMask::from_names("packet_attribution").unwrap();
+        let mut net = netsim::Network::with_tracer(
+            attribution_cfg(seed, faults),
+            |_, _| attribution_policy(kind),
+            netsim::EventLog::unbounded().with_mask(mask),
+        ).unwrap();
+        for (s, d) in &pairs {
+            net.inject(*s, *d);
+        }
+        let expected = pairs.len() as u64;
+        for _ in 0..300_000 {
+            net.step();
+            if net.stats().packets_delivered() == expected {
+                break;
+            }
+        }
+        // Fault injection may fail-stop a link and strand packets; attribute
+        // whatever was delivered.
+        let delivered = net.stats().packets_delivered();
+        prop_assert!(faults || delivered == expected);
+        prop_assert_eq!(
+            u128::from(net.stats().latency_breakdown().total()),
+            net.stats().latency().sum(),
+            "aggregate breakdown must equal the latency sum"
+        );
+        let log = net.into_tracer();
+        prop_assert_eq!(log.len() as u64, delivered);
+        for e in log.events() {
+            let netsim::Event::PacketAttribution { latency, breakdown, packet, .. } = e else {
+                prop_assert!(false, "mask admits only attribution events");
+                continue;
+            };
+            prop_assert_eq!(
+                breakdown.total(),
+                *latency,
+                "packet {} breakdown {:?} must sum to its latency",
+                packet,
+                breakdown
+            );
+        }
+    }
+
+    /// The per-channel energy ledger balances exactly: for every channel,
+    /// under every policy, with or without fault injection, the four cause
+    /// buckets sum bit-for-bit to the channel's reported energy total.
+    #[test]
+    fn energy_ledger_sums_to_channel_energy(
+        kind in 0usize..5,
+        seed: u64,
+        faults: bool,
+        pairs in prop::collection::vec((0usize..16, 0usize..16), 20..120),
+        run_cycles in 1_000u64..20_000,
+    ) {
+        let mut net = netsim::Network::with_policies(
+            attribution_cfg(seed, faults),
+            |_, _| attribution_policy(kind),
+        ).unwrap();
+        for (s, d) in &pairs {
+            net.inject(*s, *d);
+        }
+        net.run(run_cycles);
+        let snap = netsim::NetworkSnapshot::capture(&net);
+        for c in snap.channels() {
+            prop_assert_eq!(
+                c.ledger.total_j().to_bits(),
+                c.energy_j.to_bits(),
+                "channel ({}, {}) ledger {:?} must split {} J exactly",
+                c.node, c.port, c.ledger, c.energy_j
+            );
+        }
+        prop_assert!(snap.energy_ledger_totals().idle_j > 0.0);
+    }
+}
+
 #[test]
 fn direction_opposite_is_involution() {
     assert_eq!(Direction::Pos.opposite().opposite(), Direction::Pos);
