@@ -1,0 +1,31 @@
+//! Criterion benchmarks of the cycle-loop schedulers: full-scan vs.
+//! active-set on the same three workloads the `bench_netsim` CI gate runs
+//! (loaded, paper DVS operating point, near-idle). Throughput is reported
+//! in simulated cycles per second.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use linkdvs_bench::scheduler_scenarios::Scenario;
+use netsim::SchedulerMode;
+
+fn scheduler_modes(c: &mut Criterion) {
+    for scenario in Scenario::suite(true) {
+        let mut g = c.benchmark_group("scheduler");
+        g.throughput(Throughput::Elements(scenario.sim_cycles));
+        for (label, mode) in [
+            ("full_scan", SchedulerMode::FullScan),
+            ("active_set", SchedulerMode::ActiveSet),
+        ] {
+            g.bench_function(format!("{}/{label}", scenario.name), |b| {
+                b.iter_batched(
+                    || scenario.build(mode),
+                    |mut net| scenario.run(&mut net),
+                    BatchSize::PerIteration,
+                );
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, scheduler_modes);
+criterion_main!(benches);

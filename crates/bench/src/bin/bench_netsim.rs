@@ -1,0 +1,207 @@
+//! Scheduler throughput benchmark: full-scan vs. active-set
+//! sim-cycles/sec on the three workloads in
+//! [`linkdvs_bench::scheduler_scenarios`], emitted as `BENCH_netsim.json`.
+//!
+//! Each scenario runs under both [`SchedulerMode`]s (best of three to damp
+//! scheduler noise) and must deliver identical packet counts and energy
+//! bits — the bench doubles as a coarse equivalence check. With `--check`
+//! the run becomes a regression gate:
+//!
+//! * hard floors: `near_idle_8x8` speedup >= 2.0x and `loaded_8x8`
+//!   active-set throughput >= 0.85x of full-scan (the active set may not
+//!   cost a loaded network more than 15%);
+//! * against `--baseline <file>` (the committed `BENCH_netsim.json`):
+//!   fail if any scenario's speedup fell more than 15% below the recorded
+//!   value. Absolute cycles/sec are machine-dependent and only warned on.
+//!
+//! Usage: `bench_netsim [--quick] [--check] [--baseline <file>]
+//! [--out <file>]`
+
+use std::fs;
+use std::process::ExitCode;
+
+use linkdvs_bench::scheduler_scenarios::{RunOutcome, Scenario};
+use netsim::SchedulerMode;
+
+#[derive(Debug, Clone)]
+struct ScenarioResult {
+    name: &'static str,
+    sim_cycles: u64,
+    full_scan_cps: f64,
+    active_set_cps: f64,
+    speedup: f64,
+}
+
+/// Best-of-3 per mode, with the modes' runs interleaved so slow drift in
+/// machine load biases the speedup ratio as little as possible.
+fn interleaved_best_of_3(scenario: &Scenario) -> (RunOutcome, RunOutcome) {
+    let mut best: [Option<RunOutcome>; 2] = [None, None];
+    for _ in 0..3 {
+        for (slot, mode) in [SchedulerMode::FullScan, SchedulerMode::ActiveSet]
+            .into_iter()
+            .enumerate()
+        {
+            let out = scenario.timed_run(mode);
+            if best[slot].is_none_or(|b| out.seconds < b.seconds) {
+                best[slot] = Some(out);
+            }
+        }
+    }
+    (best[0].expect("three runs"), best[1].expect("three runs"))
+}
+
+fn results_json(results: &[ScenarioResult]) -> String {
+    let mut out = String::from("{\"schema\":\"bench_netsim/1\",\"scenarios\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"sim_cycles\":{},\"full_scan_cps\":{:.0},\
+             \"active_set_cps\":{:.0},\"speedup\":{:.3}}}",
+            r.name, r.sim_cycles, r.full_scan_cps, r.active_set_cps, r.speedup
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Pull `"key":<number>` out of one scenario's JSON chunk. Only parses the
+/// flat format this binary itself writes.
+fn json_number(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = chunk.find(&pat)? + pat.len();
+    let rest = &chunk[start..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Baseline speedups by scenario name from a previously-emitted
+/// `BENCH_netsim.json`.
+fn baseline_speedups(text: &str) -> Vec<(String, f64)> {
+    text.split("{\"name\":\"")
+        .skip(1)
+        .filter_map(|chunk| {
+            let name = chunk.split('"').next()?.to_string();
+            Some((name, json_number(chunk, "speedup")?))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut check = false;
+    let mut baseline: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--baseline" => baseline = it.next().cloned(),
+            "--out" => out_path = it.next().cloned(),
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: bench_netsim [--quick] [--check] [--baseline <f>] [--out <f>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut results = Vec::new();
+    let mut failures = Vec::new();
+    for scenario in Scenario::suite(quick) {
+        let (full, active) = interleaved_best_of_3(&scenario);
+        if (full.packets_delivered, full.energy_bits)
+            != (active.packets_delivered, active.energy_bits)
+        {
+            failures.push(format!(
+                "{}: schedulers diverged (full-scan {} pkts / {:#x} energy bits, \
+                 active-set {} pkts / {:#x})",
+                scenario.name,
+                full.packets_delivered,
+                full.energy_bits,
+                active.packets_delivered,
+                active.energy_bits
+            ));
+        }
+        let r = ScenarioResult {
+            name: scenario.name,
+            sim_cycles: scenario.sim_cycles,
+            full_scan_cps: scenario.sim_cycles as f64 / full.seconds,
+            active_set_cps: scenario.sim_cycles as f64 / active.seconds,
+            speedup: full.seconds / active.seconds,
+        };
+        println!(
+            "{:16} {:>9} cycles  full-scan {:>12.0} c/s  active-set {:>12.0} c/s  speedup {:.2}x",
+            r.name, r.sim_cycles, r.full_scan_cps, r.active_set_cps, r.speedup
+        );
+        results.push(r);
+    }
+
+    let json = results_json(&results);
+    if let Some(path) = &out_path {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        fs::write(path, &json).expect("write bench json");
+        eprintln!("wrote {path}");
+    } else {
+        print!("{json}");
+    }
+
+    if check {
+        for r in &results {
+            if r.name == "near_idle_8x8" && r.speedup < 2.0 {
+                failures.push(format!(
+                    "{}: active-set speedup {:.2}x below the 2.0x floor",
+                    r.name, r.speedup
+                ));
+            }
+            if r.name == "loaded_8x8" && r.speedup < 0.85 {
+                failures.push(format!(
+                    "{}: active-set at {:.2}x of full-scan, exceeding the 15% overhead budget",
+                    r.name, r.speedup
+                ));
+            }
+        }
+        if let Some(path) = &baseline {
+            match fs::read_to_string(path) {
+                Ok(text) => {
+                    for (name, base_speedup) in baseline_speedups(&text) {
+                        let Some(r) = results.iter().find(|r| r.name == name) else {
+                            failures.push(format!("baseline scenario {name} was not run"));
+                            continue;
+                        };
+                        if r.speedup < base_speedup * 0.85 {
+                            failures.push(format!(
+                                "{name}: speedup regressed to {:.2}x from baseline {:.2}x \
+                                 (>15% throughput loss)",
+                                r.speedup, base_speedup
+                            ));
+                        } else if r.speedup < base_speedup {
+                            eprintln!(
+                                "note: {name} speedup {:.2}x below baseline {:.2}x \
+                                 (within the 15% budget)",
+                                r.speedup, base_speedup
+                            );
+                        }
+                    }
+                }
+                Err(e) => failures.push(format!("cannot read baseline {path}: {e}")),
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

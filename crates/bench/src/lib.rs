@@ -18,6 +18,8 @@ use std::path::PathBuf;
 use linkdvs::{ExperimentConfig, RunResult, RunTelemetry, SweepPlan};
 use netsim::EventMask;
 
+pub mod scheduler_scenarios;
+
 /// The flags every figure binary accepts.
 pub const USAGE: &str = "usage: <figure-bin> [--quick] [--out <dir>] [--seed <n>] [--jobs <n>] \
      [--progress] [--trace-kinds <kind,...>]";

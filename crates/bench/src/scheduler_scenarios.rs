@@ -1,0 +1,155 @@
+//! Shared scenario definitions for the scheduler throughput benchmark.
+//!
+//! Three workloads bracket the active-set scheduler's operating envelope on
+//! the paper's 8x8 mesh: a loaded network where nearly every router has
+//! work each cycle (worst case for the bookkeeping overhead), the paper's
+//! DVS operating point where history-based policies step links up and down
+//! (the representative case), and a near-idle network (best case, where the
+//! fast-forward path should dominate). Both the `bench_netsim` binary and
+//! the criterion `scheduler` bench drive these same definitions, so the
+//! CI-gated numbers and the interactive bench measure the same thing.
+
+use std::time::Instant;
+
+use dvspolicy::{HistoryDvsConfig, HistoryDvsPolicy};
+use netsim::{LinkPolicy, Network, NetworkConfig, SchedulerMode, StaticLevelPolicy};
+
+/// Which of the three workloads to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Sustained heavy uniform-random load under a static top-level policy.
+    Loaded,
+    /// Moderate bursty load at the paper operating point with
+    /// history-based DVS stepping links between levels.
+    DvsSweep,
+    /// A handful of warm-up packets, then a long fully-idle stretch.
+    NearIdle,
+}
+
+/// One benchmark workload: a name, a total simulated-cycle budget, and an
+/// injection schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Stable identifier used in `BENCH_netsim.json` and bench IDs.
+    pub name: &'static str,
+    pub kind: ScenarioKind,
+    /// Simulated cycles executed per run.
+    pub sim_cycles: u64,
+}
+
+/// What one timed run produced, for cross-mode sanity checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// Wall-clock seconds for the simulation portion (setup excluded).
+    pub seconds: f64,
+    /// Packets delivered — must match between scheduler modes.
+    pub packets_delivered: u64,
+    /// Total energy bits — must match between scheduler modes.
+    pub energy_bits: u64,
+}
+
+impl Scenario {
+    /// The benchmark suite. `quick` shrinks cycle budgets ~8x for smoke
+    /// runs; speedup ratios remain comparable, absolute cycles/sec noisier.
+    pub fn suite(quick: bool) -> Vec<Scenario> {
+        let scale = if quick { 8 } else { 1 };
+        vec![
+            Scenario {
+                name: "loaded_8x8",
+                kind: ScenarioKind::Loaded,
+                sim_cycles: 40_000 / scale,
+            },
+            Scenario {
+                name: "dvs_sweep_8x8",
+                kind: ScenarioKind::DvsSweep,
+                sim_cycles: 80_000 / scale,
+            },
+            Scenario {
+                name: "near_idle_8x8",
+                kind: ScenarioKind::NearIdle,
+                sim_cycles: 200_000 / scale,
+            },
+        ]
+    }
+
+    fn policy(&self) -> Box<dyn LinkPolicy> {
+        match self.kind {
+            ScenarioKind::Loaded | ScenarioKind::NearIdle => Box::new(StaticLevelPolicy::default()),
+            ScenarioKind::DvsSweep => Box::new(HistoryDvsPolicy::new(HistoryDvsConfig::paper())),
+        }
+    }
+
+    /// Build the network for `mode`, warmed with any initial traffic.
+    pub fn build(&self, mode: SchedulerMode) -> Network {
+        let mut cfg = NetworkConfig::paper_8x8();
+        cfg.scheduler = mode;
+        let mut net = Network::with_policies(cfg, |_, _| self.policy()).expect("valid");
+        if self.kind == ScenarioKind::NearIdle {
+            // A touch of warm-up traffic so the idle stretch starts from a
+            // realistic (drained, windows-armed) state, not a virgin one.
+            for i in 0..10u64 {
+                net.inject((i * 7 % 64) as usize, ((i * 11 + 13) % 64) as usize);
+            }
+        }
+        net
+    }
+
+    /// Execute the injection schedule on a built network.
+    pub fn run(&self, net: &mut Network) {
+        let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        match self.kind {
+            ScenarioKind::Loaded => {
+                // ~0.05 packets/node/cycle offered: 16 packets every 5
+                // cycles across 64 nodes keeps routers busy without
+                // saturating the mesh.
+                let chunks = self.sim_cycles / 5;
+                for _ in 0..chunks {
+                    for _ in 0..16 {
+                        let s = (next() % 64) as usize;
+                        let d = (next() % 64) as usize;
+                        net.inject(s, if d == s { (d + 1) % 64 } else { d });
+                    }
+                    net.run(5);
+                }
+                net.run(self.sim_cycles - chunks * 5);
+            }
+            ScenarioKind::DvsSweep => {
+                // Bursts separated by idle gaps: the paper's DVS operating
+                // point, where links spend windows stepping down and back
+                // up and transitions overlap quiescent stretches.
+                let chunks = self.sim_cycles / 400;
+                for _ in 0..chunks {
+                    for _ in 0..12 {
+                        let s = (next() % 64) as usize;
+                        let d = (next() % 64) as usize;
+                        net.inject(s, if d == s { (d + 1) % 64 } else { d });
+                    }
+                    net.run(400);
+                }
+                net.run(self.sim_cycles - chunks * 400);
+            }
+            ScenarioKind::NearIdle => {
+                net.run(self.sim_cycles);
+            }
+        }
+    }
+
+    /// Build + run once under `mode`, timing only the simulation.
+    pub fn timed_run(&self, mode: SchedulerMode) -> RunOutcome {
+        let mut net = self.build(mode);
+        let start = Instant::now();
+        self.run(&mut net);
+        let seconds = start.elapsed().as_secs_f64();
+        RunOutcome {
+            seconds,
+            packets_delivered: net.stats().packets_delivered(),
+            energy_bits: net.energy_j().to_bits(),
+        }
+    }
+}

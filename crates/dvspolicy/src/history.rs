@@ -282,6 +282,55 @@ mod tests {
     }
 
     #[test]
+    fn empty_window_feeds_zero_into_the_ewma() {
+        // Regression (paper Eq. 5): a window that had link slots but moved
+        // no flits is a genuine LU = 0 observation and must decay the
+        // prediction — skipping it would freeze the predicted utilization
+        // at its last busy value and keep an idle link at high voltage.
+        let mut p = HistoryDvsPolicy::new(HistoryDvsConfig::paper());
+        let mut ch = channel_at(9);
+        p.on_window(&measures(0.8, 0.0, 200), &mut ch);
+        assert!((p.predicted_link_utilization().unwrap() - 0.8).abs() < 1e-9);
+        p.on_window(&measures(0.0, 0.0, 400), &mut ch);
+        let after = p.predicted_link_utilization().unwrap();
+        assert!(
+            (after - 0.2).abs() < 1e-9,
+            "zero-traffic window must fold 0.0 in per Eq. 5: {after}"
+        );
+        // Repeated empty windows keep decaying toward 0.
+        p.on_window(&measures(0.0, 0.0, 600), &mut ch);
+        assert!(p.predicted_link_utilization().unwrap() < 0.06);
+    }
+
+    #[test]
+    fn zero_slot_window_keeps_prediction_but_updates_buffers() {
+        // The documented exception: a window with *no* transmission
+        // opportunity (the link frequency-locked throughout) carries no LU
+        // information, so the prediction is held rather than polluted with
+        // a spurious 0; BU still updates from the measured occupancy.
+        let mut p = HistoryDvsPolicy::new(HistoryDvsConfig::paper());
+        let mut ch = channel_at(9);
+        p.on_window(&measures(0.8, 0.2, 200), &mut ch);
+        let locked = WindowMeasures {
+            window_cycles: 200,
+            flits_sent: 0,
+            link_slots: 0,
+            buf_occupancy_sum: (0.6f64 * 200.0 * 128.0).round() as u64,
+            buf_capacity: 128,
+            now: 400,
+        };
+        p.on_window(&locked, &mut ch);
+        assert!(
+            (p.predicted_link_utilization().unwrap() - 0.8).abs() < 1e-9,
+            "no-slot window must not decay the LU prediction"
+        );
+        assert!(
+            p.predicted_buffer_utilization().unwrap() > 0.2,
+            "BU still folds the locked window's occupancy in"
+        );
+    }
+
+    #[test]
     fn observe_exposes_predictions_and_selected_thresholds() {
         let mut p = HistoryDvsPolicy::new(HistoryDvsConfig::paper());
         assert!(p.observe().is_none(), "no history yet");

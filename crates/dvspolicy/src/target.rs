@@ -185,6 +185,24 @@ mod tests {
     }
 
     #[test]
+    fn empty_window_feeds_zero_demand_into_the_ewma() {
+        // Regression (paper Eq. 5 semantics): a window with no flits is a
+        // real zero-demand observation — the EWMA must decay toward 0, not
+        // freeze at the last busy estimate.
+        let mut p = TargetUtilizationPolicy::paper_comparable();
+        let mut ch = channel_at(9);
+        p.on_window(&measures(0.4, 200), &mut ch);
+        let busy = p.observe().unwrap().predicted_lu;
+        assert!((busy - 0.4).abs() < 1e-9);
+        p.on_window(&measures(0.0, 400), &mut ch);
+        let after = p.observe().unwrap().predicted_lu;
+        assert!(
+            (after - 0.1).abs() < 1e-9,
+            "zero-traffic window must fold 0.0 in per Eq. 5: {after}"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "set point")]
     fn bad_set_point_panics() {
         let _ = TargetUtilizationPolicy::new(200, 1.5);

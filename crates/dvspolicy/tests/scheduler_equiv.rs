@@ -1,0 +1,209 @@
+//! Scheduler-equivalence property suite: the active-set scheduler must be
+//! **bit-identical** to the full-scan loop, not merely statistically close.
+//!
+//! For every policy in the repo's canonical five-policy set, with and
+//! without fault injection, two networks differing *only* in
+//! [`SchedulerMode`] are driven through an identical injection schedule
+//! (bursts, trickles, and long idle gaps chosen to exercise DVS
+//! down-transitions, window boundaries, and the drained fast-forward path).
+//! At several checkpoints and at the end, everything the simulator can
+//! observe is compared: the full [`NetworkSnapshot`] (per-channel V/f
+//! state, energy ledgers, utilization counters), [`NetStats`] including the
+//! latency histogram and attribution breakdown, the energy ledger bits,
+//! fault totals, flit conservation counters, and the complete trace event
+//! stream recorded by an [`EventLog`].
+//!
+//! Any divergence — an extra wake, a missed window, a stale utilization
+//! accumulator, an event emitted one cycle late — fails loudly with the
+//! first differing event or field.
+
+use dvslink::{NoiseModel, VfTable};
+use dvspolicy::{
+    DynamicThresholdPolicy, HistoryDvsConfig, HistoryDvsPolicy, ReactiveDvsPolicy,
+    TargetUtilizationPolicy,
+};
+use netsim::{
+    Event, EventLog, FaultConfig, LinkPolicy, NetStats, Network, NetworkConfig, NetworkSnapshot,
+    SchedulerMode, StaticLevelPolicy, Topology,
+};
+use proptest::prelude::*;
+
+/// The canonical five policies (same set as the bench/attribution tools).
+const POLICIES: [&str; 5] = ["no-dvs", "history", "reactive", "threshold", "target"];
+
+fn make_policy(name: &str) -> Box<dyn LinkPolicy> {
+    match name {
+        "no-dvs" => Box::new(StaticLevelPolicy::default()),
+        "history" => Box::new(HistoryDvsPolicy::new(HistoryDvsConfig::paper())),
+        "reactive" => Box::new(ReactiveDvsPolicy::paper()),
+        "threshold" => Box::new(DynamicThresholdPolicy::paper()),
+        "target" => Box::new(TargetUtilizationPolicy::paper_comparable()),
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+/// A `ber_scale` making the top level's per-bit error probability `p_bit`
+/// (the paper-level BER ~1e-15 would never fire in a short test).
+fn scale_for_p_bit(p_bit: f64) -> f64 {
+    let noise = NoiseModel::paper();
+    let table = VfTable::paper();
+    p_bit / noise.ber(table.get(table.top()).unwrap())
+}
+
+fn config(mode: SchedulerMode, faults: bool, seed: u64) -> NetworkConfig {
+    let mut cfg = NetworkConfig::paper_8x8();
+    cfg.topology = Topology::mesh(4, 2).unwrap();
+    cfg.scheduler = mode;
+    if faults {
+        cfg.faults = Some(FaultConfig::new(seed).with_ber_scale(scale_for_p_bit(1.5e-3)));
+    }
+    cfg
+}
+
+/// Everything observable about a run, captured at one checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+struct Checkpoint {
+    time: u64,
+    snapshot: NetworkSnapshot,
+    stats: NetStats,
+    energy_bits: u64,
+    in_network: usize,
+    in_source_queues: usize,
+    fault_totals_debug: String,
+}
+
+fn checkpoint(net: &Network<EventLog>) -> Checkpoint {
+    Checkpoint {
+        time: net.time(),
+        snapshot: NetworkSnapshot::capture(net),
+        stats: *net.stats(),
+        energy_bits: net.energy_j().to_bits(),
+        in_network: net.flits_in_network(),
+        in_source_queues: net.flits_in_source_queues(),
+        fault_totals_debug: format!("{:?}", net.fault_totals()),
+    }
+}
+
+/// Drive one network through the shared schedule, checkpointing after each
+/// phase; returns the checkpoints and the complete recorded event stream.
+fn drive(
+    mode: SchedulerMode,
+    policy: &str,
+    faults: bool,
+    seed: u64,
+) -> (Vec<Checkpoint>, Vec<Event>) {
+    let cfg = config(mode, faults, seed);
+    let mut net = Network::with_tracer(cfg, |_, _| make_policy(policy), EventLog::unbounded())
+        .expect("valid config");
+    let nodes = net.topology().num_nodes() as u64;
+    let mut checkpoints = Vec::new();
+    let mut rng = seed | 1;
+    let mut next = move || {
+        // xorshift64: deterministic, dependency-free.
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+
+    // Phase A: a dense burst, then drain. Exercises allocation, wire rings,
+    // and (with faults) retransmission under load.
+    for _ in 0..120 {
+        let s = (next() % nodes) as usize;
+        let mut d = (next() % nodes) as usize;
+        if d == s {
+            d = (d + 1) % nodes as usize;
+        }
+        net.inject(s, d);
+    }
+    net.run(1_500);
+    checkpoints.push(checkpoint(&net));
+
+    // Phase B: a trickle with idle gaps long enough for DVS policies to
+    // step links down and for transitions to start *and* complete inside
+    // otherwise-quiescent stretches — the regime where the active-set
+    // scheduler's closed-form catch-up must match per-cycle stepping.
+    for _ in 0..8 {
+        let s = (next() % nodes) as usize;
+        let mut d = (next() % nodes) as usize;
+        if d == s {
+            d = (d + 1) % nodes as usize;
+        }
+        net.inject(s, d);
+        net.run(900 + (next() % 500));
+    }
+    checkpoints.push(checkpoint(&net));
+
+    // Phase C: a long fully-idle stretch (the run() fast-forward path),
+    // then one final packet to prove the woken state is coherent.
+    net.run(25_000);
+    checkpoints.push(checkpoint(&net));
+    net.inject(0, nodes as usize - 1);
+    net.run(2_000);
+    checkpoints.push(checkpoint(&net));
+
+    let events: Vec<Event> = net.into_tracer().events().cloned().collect();
+    (checkpoints, events)
+}
+
+fn assert_equivalent(policy: &str, faults: bool, seed: u64) {
+    let (full_cp, full_ev) = drive(SchedulerMode::FullScan, policy, faults, seed);
+    let (act_cp, act_ev) = drive(SchedulerMode::ActiveSet, policy, faults, seed);
+
+    for (i, (f, a)) in full_cp.iter().zip(&act_cp).enumerate() {
+        assert_eq!(
+            f, a,
+            "policy {policy} faults {faults} seed {seed:#x}: checkpoint {i} diverged"
+        );
+    }
+
+    // Compare event streams element-wise so a failure names the first
+    // divergent event instead of dumping two multi-thousand-entry vectors.
+    let n = full_ev.len().min(act_ev.len());
+    for i in 0..n {
+        assert_eq!(
+            full_ev[i], act_ev[i],
+            "policy {policy} faults {faults} seed {seed:#x}: event {i} diverged \
+             (full-scan vs active-set)"
+        );
+    }
+    assert_eq!(
+        full_ev.len(),
+        act_ev.len(),
+        "policy {policy} faults {faults} seed {seed:#x}: event stream lengths diverged \
+         (first {n} events identical)"
+    );
+    assert!(
+        !full_ev.is_empty(),
+        "vacuous comparison: no events were recorded"
+    );
+}
+
+#[test]
+fn all_policies_bit_identical_without_faults() {
+    for policy in POLICIES {
+        assert_equivalent(policy, false, 0x0edc_0ffe_e000_0001);
+    }
+}
+
+#[test]
+fn all_policies_bit_identical_with_faults() {
+    for policy in POLICIES {
+        assert_equivalent(policy, true, 0x0edc_0ffe_e000_0002);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random seeds vary the injection pattern, gap lengths, and (when
+    /// enabled) the fault RNG; equivalence must hold for all of them.
+    #[test]
+    fn random_schedules_stay_bit_identical(
+        seed in any::<u64>(),
+        policy_idx in 0usize..5,
+        faults in any::<bool>(),
+    ) {
+        assert_equivalent(POLICIES[policy_idx], faults, seed);
+    }
+}

@@ -58,7 +58,7 @@ pub use obs;
 pub use dvslink::{Cycles, EnergyLedger};
 pub use faults::{FaultConfig, FaultConfigError, FaultStats, OutageConfig, RecoveryConfig};
 pub use flit::{Flit, FlitKind, PacketId};
-pub use network::{Network, NetworkConfig, NetworkError};
+pub use network::{Network, NetworkConfig, NetworkError, SchedulerMode, SchedulerStats};
 pub use obs::{
     BreakdownTotals, Event, EventKind, EventLog, EventMask, LatencyBreakdown, LinkId, NoopTracer,
     Tracer,

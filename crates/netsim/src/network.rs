@@ -7,7 +7,9 @@ use obs::{Event, NoopTracer, Tracer};
 
 use crate::flit::make_packet;
 use crate::policy::{LinkPolicy, StaticLevelPolicy};
-use crate::router::{CreditWire, Delivery, FlitWire, Router, RouterParams};
+use crate::router::{
+    CreditWire, Delivery, FlitWire, Router, RouterParams, CREDIT_WIRE_LATENCY, FLIT_WIRE_LATENCY,
+};
 use crate::{
     Cycles, InputPortStats, NetStats, NodeId, OutputPortStats, PacketId, PortId, Routing, Topology,
     LOCAL_PORT,
@@ -51,6 +53,48 @@ pub struct NetworkConfig {
     /// fault subsystem entirely: the hot path is unchanged and all outputs
     /// are byte-identical to a build without fault support.
     pub faults: Option<FaultConfig>,
+    /// Cycle-loop scheduling algorithm. [`SchedulerMode::ActiveSet`] (the
+    /// default) skips quiescent routers and fast-forwards a quiescent
+    /// network; it is bit-identical to [`SchedulerMode::FullScan`], which
+    /// stays available as the reference schedule for equivalence tests.
+    pub scheduler: SchedulerMode,
+}
+
+/// Which stepping algorithm drives the cycle loop. See DESIGN.md §9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Visit every router on every cycle — the reference schedule.
+    FullScan,
+    /// Quiescence-aware stepping: only routers with work (or a due history
+    /// window / DVS phase boundary) run each cycle; the idle counter drift
+    /// of skipped routers is replayed in closed form, and `run` jumps a
+    /// fully quiescent network straight to its next scheduled event.
+    /// Bit-identical to `FullScan`: same snapshots, stats, energy ledgers,
+    /// and trace event streams.
+    #[default]
+    ActiveSet,
+}
+
+/// Counters describing how the cycle-loop scheduler spent its time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Individual router-cycles executed (one per router per stepped cycle
+    /// it was visited in).
+    pub router_cycles_executed: u64,
+    /// Cycles advanced through [`Network::step`].
+    pub cycles_stepped: u64,
+    /// Cycles [`Network::run`] skipped wholesale because the network was
+    /// quiescent (no hot routers, nothing on the wires).
+    pub fast_forwarded_cycles: u64,
+}
+
+/// Longest wire latency any delivery can take, across every V/f level of
+/// `table`. Serialization at slow levels is modeled by the per-port rate
+/// accumulator rather than by stretching the wire, so the latency is
+/// level-independent today — but the delivery rings are sized from this
+/// function so a future level-dependent wire model only has to change it.
+fn max_wire_latency(_table: &VfTable) -> Cycles {
+    FLIT_WIRE_LATENCY.max(CREDIT_WIRE_LATENCY)
 }
 
 impl NetworkConfig {
@@ -72,6 +116,7 @@ impl NetworkConfig {
             links_per_channel: 8,
             initial_level: VfTable::paper().top(),
             faults: None,
+            scheduler: SchedulerMode::default(),
         }
     }
 }
@@ -144,11 +189,19 @@ pub struct Network<T: Tracer = NoopTracer> {
     next_packet: PacketId,
     packet_len: usize,
     stats: NetStats,
-    // Wires bucketed by arrival cycle modulo the ring size: all wire
-    // latencies are <= 3 cycles, so a 4-slot ring suffices and delivery is
-    // O(arrivals) instead of a scan of everything in flight.
-    flit_ring: [Vec<FlitWire>; 4],
-    credit_ring: [Vec<CreditWire>; 4],
+    // Wires bucketed by arrival cycle masked to the ring size (a power of
+    // two derived from the maximum wire latency), so delivery is
+    // O(arrivals) instead of a scan of everything in flight. Pushes assert
+    // the arrival fits the ring — an arrival farther out would alias an
+    // earlier slot and silently corrupt delivery order.
+    flit_ring: Vec<Vec<FlitWire>>,
+    credit_ring: Vec<Vec<CreditWire>>,
+    ring_mask: u64,
+    /// Flits + credits currently on wires; the quiescence fast path may
+    /// only fire when this is zero.
+    wires_in_flight: usize,
+    mode: SchedulerMode,
+    sched: SchedulerStats,
     // Scratch buffers reused across cycles.
     credit_buf: Vec<CreditWire>,
     flit_buf: Vec<FlitWire>,
@@ -258,6 +311,7 @@ impl<T: Tracer> Network<T> {
             .collect();
         let max_channel_power_w =
             config.table.max().power_w() * f64::from(config.links_per_channel);
+        let ring_len = (max_wire_latency(&config.table) + 1).next_power_of_two() as usize;
         Ok(Self {
             topo,
             routers,
@@ -265,8 +319,12 @@ impl<T: Tracer> Network<T> {
             next_packet: 0,
             packet_len: config.packet_len,
             stats: NetStats::new(),
-            flit_ring: Default::default(),
-            credit_ring: Default::default(),
+            flit_ring: (0..ring_len).map(|_| Vec::new()).collect(),
+            credit_ring: (0..ring_len).map(|_| Vec::new()).collect(),
+            ring_mask: ring_len as u64 - 1,
+            wires_in_flight: 0,
+            mode: config.scheduler,
+            sched: SchedulerStats::default(),
             credit_buf: Vec::new(),
             flit_buf: Vec::new(),
             delivery_buf: Vec::new(),
@@ -325,7 +383,14 @@ impl<T: Tracer> Network<T> {
         self.next_packet += 1;
         let flits = make_packet(id, src, dest, self.time, self.packet_len);
         self.stats.on_inject(flits.len());
-        self.routers[src].source_queue.extend(flits);
+        let r = &mut self.routers[src];
+        if self.mode == SchedulerMode::ActiveSet {
+            // Replay any skipped idle cycles before the queue gains work,
+            // then mark the router hot so the next step visits it.
+            r.catch_up(self.time);
+            r.hot = true;
+        }
+        r.source_queue.extend(flits);
         if T::ENABLED {
             self.tracer.record(Event::PacketInject {
                 t: self.time,
@@ -340,25 +405,53 @@ impl<T: Tracer> Network<T> {
     /// Advance the network by one router cycle.
     pub fn step(&mut self) {
         let now = self.time;
+        let active = self.mode == SchedulerMode::ActiveSet;
+        self.sched.cycles_stepped += 1;
         // 1. Deliver flits and credits whose wire latency has elapsed.
-        let slot = (now % 4) as usize;
+        // Under the active-set schedule an arrival first replays the
+        // receiver's skipped idle cycles (the drift projection depends on
+        // the pre-arrival credit state) and then marks it hot.
+        let slot = (now & self.ring_mask) as usize;
         let mut flits = std::mem::take(&mut self.flit_ring[slot]);
+        self.wires_in_flight -= flits.len();
         for w in flits.drain(..) {
-            debug_assert_eq!(w.arrival, now);
-            self.routers[w.router].receive_flit(w.in_port, w.vc, w.flit, now);
+            assert_eq!(w.arrival, now, "flit wire delivered at the wrong cycle");
+            let r = &mut self.routers[w.router];
+            if active {
+                r.catch_up(now);
+                r.hot = true;
+            }
+            r.receive_flit(w.in_port, w.vc, w.flit, now);
         }
         self.flit_ring[slot] = flits;
         let mut credits = std::mem::take(&mut self.credit_ring[slot]);
+        self.wires_in_flight -= credits.len();
         for w in credits.drain(..) {
-            debug_assert_eq!(w.arrival, now);
-            self.routers[w.router].receive_credit(w.out_port, w.vc);
+            assert_eq!(w.arrival, now, "credit wire delivered at the wrong cycle");
+            let r = &mut self.routers[w.router];
+            if active {
+                r.catch_up(now);
+                r.hot = true;
+            }
+            r.receive_credit(w.out_port, w.vc);
         }
         self.credit_ring[slot] = credits;
         // 2. Per-router cycle: injection, history windows, allocation, and
         // link transmission. Routers interact only via the wire rings read
         // at the top of the *next* cycle, so one pass is equivalent to
-        // separate global phases and much friendlier to the cache.
-        for r in &mut self.routers {
+        // separate global phases and much friendlier to the cache. The
+        // active-set schedule visits — in the same index order — only the
+        // routers that are hot (work or fresh arrivals) or due (history
+        // window or DVS phase boundary); skipped routers owe nothing this
+        // cycle beyond idle drift, replayed on their next wake.
+        for i in 0..self.routers.len() {
+            let r = &mut self.routers[i];
+            if active {
+                if !r.hot && r.next_due > now {
+                    continue;
+                }
+                r.catch_up(now);
+            }
             r.inject_from_source(now, &mut self.tracer);
             r.cycle(
                 &self.topo,
@@ -368,9 +461,21 @@ impl<T: Tracer> Network<T> {
                 &mut self.delivery_buf,
                 &mut self.tracer,
             );
+            if active {
+                r.hot = r.always_hot || r.has_work();
+                // `next_due` is only consulted while a router is cold (the
+                // skip test above and the fast-forward in `run`), so it
+                // need only be fresh at the hot->cold transition.
+                if !r.hot {
+                    r.next_due = r.compute_next_due();
+                }
+            }
+            self.sched.router_cycles_executed += 1;
         }
         for w in self.credit_buf.drain(..) {
-            self.credit_ring[(w.arrival % 4) as usize].push(w);
+            Self::check_arrival(w.arrival, now, self.ring_mask);
+            self.wires_in_flight += 1;
+            self.credit_ring[(w.arrival & self.ring_mask) as usize].push(w);
         }
         for d in self.delivery_buf.drain(..) {
             self.stats.on_flit_delivered();
@@ -411,16 +516,64 @@ impl<T: Tracer> Network<T> {
             }
         }
         for w in self.flit_buf.drain(..) {
-            self.flit_ring[(w.arrival % 4) as usize].push(w);
+            Self::check_arrival(w.arrival, now, self.ring_mask);
+            self.wires_in_flight += 1;
+            self.flit_ring[(w.arrival & self.ring_mask) as usize].push(w);
         }
         self.time = now + 1;
     }
 
-    /// Run `cycles` steps.
+    /// Release-mode guard on wire pushes: an arrival beyond the ring would
+    /// alias an earlier slot and silently corrupt delivery order.
+    #[inline]
+    fn check_arrival(arrival: Cycles, now: Cycles, ring_mask: u64) {
+        assert!(
+            arrival > now && arrival - now <= ring_mask,
+            "wire arrival {arrival} out of range at cycle {now} \
+             (delivery ring holds {} slots)",
+            ring_mask + 1
+        );
+    }
+
+    /// Run `cycles` steps. Under [`SchedulerMode::ActiveSet`] a fully
+    /// quiescent network (no hot routers, nothing on the wires) jumps
+    /// straight to its next scheduled event — the earliest history-window
+    /// boundary or DVS phase completion — instead of stepping through the
+    /// empty cycles; the skipped idle drift is replayed in closed form when
+    /// a router next wakes or is read.
     pub fn run(&mut self, cycles: Cycles) {
-        for _ in 0..cycles {
+        let end = self.time + cycles;
+        while self.time < end {
+            if self.mode == SchedulerMode::ActiveSet
+                && self.wires_in_flight == 0
+                && !self.routers.iter().any(|r| r.hot)
+            {
+                let next = self
+                    .routers
+                    .iter()
+                    .map(|r| r.next_due)
+                    .min()
+                    .unwrap_or(Cycles::MAX)
+                    .min(end);
+                if next > self.time {
+                    self.sched.fast_forwarded_cycles += next - self.time;
+                    self.time = next;
+                    continue;
+                }
+            }
             self.step();
         }
+    }
+
+    /// The scheduling algorithm driving the cycle loop.
+    pub fn scheduler_mode(&self) -> SchedulerMode {
+        self.mode
+    }
+
+    /// Counters describing how the cycle-loop scheduler spent its time
+    /// (router-cycles executed, cycles stepped, cycles fast-forwarded).
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.sched
     }
 
     /// Measurement counters (latency, throughput, injection).

@@ -43,6 +43,16 @@ fn phase_events<T: Tracer>(
     }
 }
 
+/// Wire latency of a flit crossing in router cycles: one cycle on the wire
+/// plus one cycle for the downstream buffer write. Serialization at slow
+/// V/f levels is modeled by the per-port rate accumulator, so this latency
+/// is level-independent; the network sizes its delivery rings from it (see
+/// `network::max_wire_latency`).
+pub(crate) const FLIT_WIRE_LATENCY: Cycles = 2;
+
+/// Wire latency of a credit return in router cycles.
+pub(crate) const CREDIT_WIRE_LATENCY: Cycles = 1;
+
 /// A flit on a wire, due to arrive at a router input buffer.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct FlitWire {
@@ -243,6 +253,49 @@ pub(crate) struct OutputPort {
     snap_cycle: Cycles,
 }
 
+impl OutputPort {
+    /// Counter drift `k` consecutive idle cycles produce on this port, in
+    /// closed form: `(cum_slots delta, final rate accumulator, cum_occ_sum
+    /// delta)`. Valid only while the port is quiescent — empty staging, no
+    /// fault model, and no DVS phase boundary inside the interval (the
+    /// scheduler wakes the router at `next_transition`, so the channel's
+    /// phase, frequency, and operability are constant across the `k`
+    /// cycles). Mirrors the per-cycle tail of `link_phase` exactly:
+    /// `acc` saturates at 9000 once the first slot opens (idle slots do not
+    /// bank bandwidth), after which every cycle opens a slot, and the
+    /// downstream-occupancy integral advances by the (constant) occupied
+    /// slot count each cycle.
+    fn idle_projection(&self, k: u64) -> (u64, u32, u64) {
+        let occupied = self.buf_capacity_total - self.credits.iter().sum::<u32>();
+        let occ = k * u64::from(occupied);
+        if !self.channel.is_operational() {
+            return (0, self.acc, occ);
+        }
+        let f = self.channel.freq_x9();
+        if f == 0 {
+            // Defensive: `VfTable` validation rejects zero frequencies, but
+            // match the per-cycle arithmetic anyway (a primed accumulator
+            // opens a slot every cycle and re-pins itself at 9000).
+            return if self.acc >= 9000 {
+                (k, 9000, occ)
+            } else {
+                (0, self.acc, occ)
+            };
+        }
+        // First slot opens on idle cycle j0 = ceil((9000 - acc) / f),
+        // clamped to 1 (the accumulator adds before it checks); every idle
+        // cycle from then on opens one.
+        let need = 9000u32.saturating_sub(self.acc);
+        let j0 = u64::from(need.div_ceil(f).max(1));
+        if k >= j0 {
+            (k - j0 + 1, 9000, occ)
+        } else {
+            // k < j0 <= 9000, and acc + k*f < 9000: no overflow.
+            (0, self.acc + k as u32 * f, occ)
+        }
+    }
+}
+
 impl std::fmt::Debug for OutputPort {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("OutputPort")
@@ -310,6 +363,22 @@ pub(crate) struct Router {
     sa_grants: Vec<(PortId, usize)>,
     va_requests: Vec<(PortId, usize, PortId, bool)>,
     pub(crate) activity: ActivityCounters,
+    // Active-set scheduler state (see DESIGN.md §9). Maintained only under
+    // `SchedulerMode::ActiveSet`; the full-scan schedule ignores it.
+    /// Router must run every cycle: it has buffered/staged flits, pending
+    /// source injections, or an arrival just woke it.
+    pub(crate) hot: bool,
+    /// Router may never be skipped: its channels carry stateful per-cycle
+    /// fault processes that cannot be replayed in closed form.
+    pub(crate) always_hot: bool,
+    /// Earliest cycle a quiescent router must still run: the next history
+    /// window boundary or DVS phase completion over its output ports.
+    pub(crate) next_due: Cycles,
+    /// Counters reflect every cycle `< processed_until`; a quiescent router
+    /// skipped past it owes the idle drift of `[processed_until, now)`,
+    /// applied in closed form by [`Router::catch_up`] (or projected
+    /// read-only by [`Router::output_stats`]).
+    pub(crate) processed_until: Cycles,
 }
 
 pub(crate) struct RouterParams {
@@ -377,7 +446,17 @@ impl Router {
                     snap_cycle: 0,
                 })
             })
-            .collect();
+            .collect::<Vec<Option<OutputPort>>>();
+        let always_hot = outputs
+            .iter()
+            .flatten()
+            .any(|o: &OutputPort| o.fault.is_some());
+        let next_due = outputs
+            .iter()
+            .flatten()
+            .map(|o| o.next_window.min(o.next_transition))
+            .min()
+            .unwrap_or(Cycles::MAX);
         Self {
             id,
             inputs,
@@ -392,7 +471,62 @@ impl Router {
             sa_grants: Vec::with_capacity(ports),
             va_requests: Vec::with_capacity(ports * params.vcs),
             activity: ActivityCounters::default(),
+            hot: always_hot,
+            always_hot,
+            next_due,
+            processed_until: 0,
         }
+    }
+
+    /// True when this router has per-cycle work beyond idle counter drift:
+    /// pending source injections, buffered flits, or staged flits. A router
+    /// for which this is false (and that owns no fault model) mutates state
+    /// each cycle only through the closed-form drift `idle_projection`
+    /// replays, so the active-set scheduler may skip it until an arrival or
+    /// its `next_due` wakes it.
+    pub(crate) fn has_work(&self) -> bool {
+        !self.source_queue.is_empty()
+            || self.buffered > 0
+            || self.outputs.iter().flatten().any(|o| !o.staging.is_empty())
+    }
+
+    /// Earliest cycle a quiescent router must still run: the next history
+    /// window boundary or DVS phase completion over its output ports.
+    pub(crate) fn compute_next_due(&self) -> Cycles {
+        self.outputs
+            .iter()
+            .flatten()
+            .map(|o| o.next_window.min(o.next_transition))
+            .min()
+            .unwrap_or(Cycles::MAX)
+    }
+
+    /// Replay the skipped idle cycles `[processed_until, now)` in closed
+    /// form, committing the counter drift the full-scan schedule would have
+    /// accumulated one cycle at a time. Must run before anything at `now`
+    /// mutates the router (arrivals change credits; the projection depends
+    /// on the pre-arrival credit state). Idempotent: a second call at the
+    /// same cycle is a no-op.
+    pub(crate) fn catch_up(&mut self, now: Cycles) {
+        let k = now.saturating_sub(self.processed_until);
+        if k == 0 {
+            return;
+        }
+        debug_assert!(
+            !self.always_hot && self.source_queue.is_empty() && self.buffered == 0,
+            "router {} skipped {} cycles while non-quiescent",
+            self.id,
+            k
+        );
+        for out in self.outputs.iter_mut().flatten() {
+            debug_assert!(out.staging.is_empty() && out.fault.is_none());
+            debug_assert!(now <= out.next_window && now <= out.next_transition);
+            let (slots, acc, occ) = out.idle_projection(k);
+            out.cum_slots += slots;
+            out.cum_occ_sum += occ;
+            out.acc = acc;
+        }
+        self.processed_until = now;
     }
 
     /// Deliver a flit arriving from an upstream link (or fail loudly if the
@@ -576,6 +710,11 @@ impl Router {
         deliveries: &mut Vec<Delivery>,
         tracer: &mut T,
     ) {
+        debug_assert_eq!(
+            self.processed_until, now,
+            "router {} cycled without catching up",
+            self.id
+        );
         if now > 0 {
             self.close_windows(now, tracer);
         }
@@ -584,6 +723,7 @@ impl Router {
             self.vc_allocation(topo, now, tracer);
         }
         self.link_phase(now, flit_wires, tracer);
+        self.processed_until = now + 1;
     }
 
     fn switch_allocation(
@@ -682,7 +822,7 @@ impl Router {
                 // matching "input port" there is its output port facing us.
                 if let Some((up_node, up_out)) = topo.downstream(self.id, in_port) {
                     credit_wires.push(CreditWire {
-                        arrival: now + 1,
+                        arrival: now + CREDIT_WIRE_LATENCY,
                         router: up_node,
                         out_port: up_out,
                         vc: in_vc,
@@ -952,7 +1092,7 @@ impl Router {
                                 out.channel.charge_flit_transmission(now);
                                 let (node, in_port) = out.downstream;
                                 flit_wires.push(FlitWire {
-                                    arrival: now + 2, // one cycle wire + one cycle buffer write
+                                    arrival: now + FLIT_WIRE_LATENCY,
                                     router: node,
                                     in_port,
                                     vc: staged.out_vc,
@@ -1032,13 +1172,23 @@ impl Router {
 
     pub(crate) fn output_stats(&self, port: PortId, now: Cycles) -> Option<OutputPortStats> {
         let out = self.outputs[port].as_ref()?;
+        // Under the active-set schedule a quiescent router may not have
+        // executed cycles `[processed_until, now)` yet; project the idle
+        // drift those cycles owe so read-out is bit-identical to the
+        // full-scan schedule (which always has `processed_until == now`).
+        let k = now.saturating_sub(self.processed_until);
+        let (slots, _, occ) = if k > 0 {
+            out.idle_projection(k)
+        } else {
+            (0, 0, 0)
+        };
         Some(OutputPortStats {
             level: out.channel.level(),
             operational: out.channel.is_operational(),
             power_w: out.channel.power_w(),
             cum_flits: out.cum_flits,
-            cum_slots: out.cum_slots,
-            cum_occ_sum: out.cum_occ_sum,
+            cum_slots: out.cum_slots + slots,
+            cum_occ_sum: out.cum_occ_sum + occ,
             credits: out.credits.iter().sum(),
             buf_capacity: out.buf_capacity_total,
             freq_x9: out.channel.freq_x9(),

@@ -44,7 +44,15 @@ impl LatencyStats {
     }
 
     /// Estimate the latency at quantile `q` in `[0, 1]` (geometric midpoint
-    /// of the histogram bucket containing it), or `None` if empty.
+    /// of the histogram bucket containing it, clamped to the recorded
+    /// `[min, max]`), or `None` if empty.
+    ///
+    /// The clamp keeps the estimate inside the observed range where the raw
+    /// midpoint would leave it: an all-zero sample estimates 0 rather than
+    /// `√2`, and a sample confined to the top of a bucket (or to the
+    /// open-ended bucket 39) can no longer exceed `max` or undershoot
+    /// `min`. Clamping only moves the estimate toward the exact order
+    /// statistic, so the `√2` accuracy bound is preserved.
     ///
     /// # Panics
     ///
@@ -60,7 +68,8 @@ impl LatencyStats {
             seen += c;
             if seen >= target {
                 let lo = (1u64 << i) as f64;
-                return Some(lo * std::f64::consts::SQRT_2);
+                let est = lo * std::f64::consts::SQRT_2;
+                return Some(est.clamp(self.min as f64, self.max as f64));
             }
         }
         Some(self.max as f64)

@@ -3,11 +3,12 @@
 //! the sorted sample.
 //!
 //! A latency in bucket `i` lies in `[2^i, 2^(i+1))` and is estimated by the
-//! geometric midpoint `2^i·√2`, so for any sample the estimate at quantile
-//! `q` can deviate from the exact order statistic by at most a factor of
-//! `√2` in either direction. Latencies 0 and 1 share bucket 0, whose
-//! estimate is `√2`; they are the only values where the ratio bound does
-//! not apply, so they get an absolute bound instead.
+//! geometric midpoint `2^i·√2` clamped to the recorded `[min, max]`, so for
+//! any sample the estimate at quantile `q` can deviate from the exact order
+//! statistic by at most a factor of `√2` in either direction (clamping only
+//! moves the estimate toward the exact value, which always lies inside
+//! `[min, max]`). Latencies 0 and 1 share bucket 0; the clamp pins an
+//! all-zero sample to 0 exactly, and a lone 1 to 1 exactly.
 
 use netsim::LatencyStats;
 use proptest::prelude::*;
@@ -70,22 +71,67 @@ proptest! {
         let hi = stats.quantile(q_hi).unwrap();
         prop_assert!(lo <= hi, "quantile({q_lo}) = {lo} > quantile({q_hi}) = {hi}");
     }
+
+    #[test]
+    fn estimate_stays_within_recorded_range(
+        sample in prop::collection::vec(0u64..1_000_000_000, 1..400),
+        q_millis in 0u32..=1000,
+    ) {
+        let q = f64::from(q_millis) / 1000.0;
+        let mut stats = LatencyStats::new();
+        for &lat in &sample {
+            stats.record(lat);
+        }
+        let est = stats.quantile(q).expect("non-empty sample");
+        let min = *sample.iter().min().unwrap() as f64;
+        let max = *sample.iter().max().unwrap() as f64;
+        prop_assert!(
+            (min..=max).contains(&est),
+            "quantile({q}) = {est} outside recorded range [{min}, {max}]"
+        );
+    }
 }
 
 #[test]
-fn zero_latency_sample_estimates_bucket_zero_midpoint() {
+fn zero_latency_sample_estimates_zero() {
     // Local delivery in the same cycle is legal; the histogram must not
-    // lose it or panic on `log2(0)`.
+    // lose it or panic on `log2(0)`, and the clamp must pin the estimate
+    // to the recorded range rather than report bucket 0's midpoint `√2`.
     let mut stats = LatencyStats::new();
     for _ in 0..10 {
         stats.record(0);
     }
     for q in [0.0, 0.5, 1.0] {
         let est = stats.quantile(q).unwrap();
-        assert!((est - SQRT_2).abs() < EPS, "q {q} estimated {est}");
+        assert!(est.abs() < EPS, "q {q} estimated {est}, expected 0");
     }
     assert_eq!(stats.min(), Some(0));
     assert_eq!(stats.max(), Some(0));
+}
+
+#[test]
+fn top_of_bucket_sample_cannot_exceed_max() {
+    // 600 lands in bucket 9 = [512, 1024), whose raw midpoint 512·√2 ≈ 724
+    // exceeds the sample's max; the clamp must return exactly 600.
+    let mut stats = LatencyStats::new();
+    stats.record(600);
+    for q in [0.0, 0.5, 1.0] {
+        let est = stats.quantile(q).unwrap();
+        assert!((est - 600.0).abs() < EPS, "q {q} estimated {est}");
+    }
+}
+
+#[test]
+fn bottom_of_bucket_sample_cannot_undershoot_min() {
+    // 800 and 900 both land in bucket 9, whose raw midpoint ≈ 724 sits
+    // below the sample's min; the clamp must lift every quantile to 800.
+    let mut stats = LatencyStats::new();
+    stats.record(800);
+    stats.record(900);
+    for q in [0.0, 0.5, 1.0] {
+        let est = stats.quantile(q).unwrap();
+        assert!((est - 800.0).abs() < EPS, "q {q} estimated {est}");
+    }
 }
 
 #[test]

@@ -1,0 +1,87 @@
+//! Integration tests of the active-set scheduler's fast paths: a drained
+//! network must fast-forward through idle stretches without executing
+//! per-router cycles, while remaining observably identical to the
+//! full-scan loop.
+
+use netsim::{Network, NetworkConfig, NetworkSnapshot, SchedulerMode, Topology};
+
+fn cfg(mode: SchedulerMode) -> NetworkConfig {
+    let mut cfg = NetworkConfig::paper_8x8();
+    cfg.topology = Topology::mesh(4, 2).unwrap();
+    cfg.scheduler = mode;
+    cfg
+}
+
+#[test]
+fn drained_network_fast_forwards_without_router_work() {
+    let mut net = Network::new(cfg(SchedulerMode::ActiveSet)).unwrap();
+    net.inject(0, 15);
+    net.run(2_000);
+    assert_eq!(net.stats().packets_delivered(), 1, "network must drain");
+    assert_eq!(net.flits_in_network(), 0);
+
+    let before = net.scheduler_stats();
+    let idle_cycles = 100_000u64;
+    net.run(idle_cycles);
+    let after = net.scheduler_stats();
+
+    let fast_forwarded = after.fast_forwarded_cycles - before.fast_forwarded_cycles;
+    let stepped = after.cycles_stepped - before.cycles_stepped;
+    let executed = after.router_cycles_executed - before.router_cycles_executed;
+    assert_eq!(
+        fast_forwarded + stepped,
+        idle_cycles,
+        "every cycle is either stepped or skipped"
+    );
+    assert!(
+        fast_forwarded > idle_cycles / 2,
+        "a drained network should skip most cycles, skipped only {fast_forwarded}"
+    );
+    // Routers still wake for measurement-window boundaries, but nothing
+    // else: far below the 16 routers x 100k cycles a full scan would run.
+    let full_scan_work = 16 * idle_cycles;
+    assert!(
+        executed < full_scan_work / 20,
+        "idle run executed {executed} router-cycles (full scan would run {full_scan_work})"
+    );
+    assert_eq!(
+        net.stats().packets_delivered(),
+        1,
+        "idle run delivers nothing"
+    );
+}
+
+#[test]
+fn fast_forwarded_idle_matches_full_scan_observably() {
+    let run = |mode| {
+        let mut net = Network::new(cfg(mode)).unwrap();
+        for (s, d) in [(0, 15), (3, 12), (5, 6)] {
+            net.inject(s, d);
+        }
+        net.run(2_000); // drain
+        net.run(50_000); // long idle stretch
+        net.inject(15, 0); // wake and drain again
+        net.run(2_000);
+        (
+            net.time(),
+            NetworkSnapshot::capture(&net),
+            *net.stats(),
+            net.energy_j().to_bits(),
+        )
+    };
+    assert_eq!(
+        run(SchedulerMode::FullScan),
+        run(SchedulerMode::ActiveSet),
+        "idle fast-forward must be invisible to every observer"
+    );
+}
+
+#[test]
+fn full_scan_mode_never_fast_forwards() {
+    let mut net = Network::new(cfg(SchedulerMode::FullScan)).unwrap();
+    net.run(5_000);
+    let s = net.scheduler_stats();
+    assert_eq!(s.fast_forwarded_cycles, 0);
+    assert_eq!(s.cycles_stepped, 5_000);
+    assert_eq!(s.router_cycles_executed, 16 * 5_000);
+}
